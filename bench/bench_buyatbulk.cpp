@@ -1,0 +1,57 @@
+// E10 — buy-at-bulk network design (Section 10, Theorem 10.2).
+//
+// Claim: routing on a sampled FRT tree and mapping back gives an expected
+// O(log n)-approximation.  We report the tree-based cost against the
+// fractional lower bound and the no-consolidation direct-routing baseline.
+
+#include "bench/bench_common.hpp"
+#include "src/apps/buyatbulk.hpp"
+
+namespace pmte::bench {
+namespace {
+
+void run(const Cli& cli) {
+  print_header("E10: buy-at-bulk",
+               "Theorem 10.2 — expected O(log n)-approximation via FRT "
+               "routing + per-edge cable optimisation");
+  Rng rng(cli.seed());
+  const std::vector<CableType> cables{{1.0, 1.0}, {8.0, 4.0}, {64.0, 16.0}};
+  const std::vector<Vertex> sizes = quick(cli)
+                                        ? std::vector<Vertex>{128}
+                                        : std::vector<Vertex>{128, 256, 512};
+  Table t({"family", "n", "demands", "FRT cost", "direct cost",
+           "lower bound", "FRT/LB", "direct/LB", "tree cost",
+           "loaded edges"});
+
+  for (const auto* family : {"geometric", "grid"}) {
+    for (const Vertex n : sizes) {
+      auto inst = make_instance(family, n, rng());
+      const auto& g = inst.graph;
+      for (const std::size_t demand_count : {32U, 128U}) {
+        std::vector<Demand> demands;
+        while (demands.size() < demand_count) {
+          const auto s = static_cast<Vertex>(rng.below(g.num_vertices()));
+          const auto u = static_cast<Vertex>(rng.below(g.num_vertices()));
+          if (s == u) continue;
+          demands.push_back(Demand{s, u, std::floor(rng.uniform(1.0, 8.0))});
+        }
+        const auto r = buy_at_bulk(g, demands, cables, {}, rng);
+        t.add_row({inst.name, cell(std::size_t{g.num_vertices()}),
+                   cell(demand_count), cell(r.cost), cell(r.direct_cost),
+                   cell(r.lower_bound), cell(r.cost / r.lower_bound),
+                   cell(r.direct_cost / r.lower_bound), cell(r.tree_cost),
+                   cell(r.loaded_tree_edges)});
+      }
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pmte::bench
+
+int main(int argc, char** argv) {
+  const pmte::Cli cli(argc, argv);
+  pmte::bench::run(cli);
+  return 0;
+}

@@ -1,0 +1,58 @@
+#pragma once
+// Shared helpers for the experiment benches (E1–E14): consistent headers,
+// graph-family construction, and run-scaling via --scale=small|full.
+
+#include <cmath>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace pmte::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "\n## " << experiment << "\n\n"
+            << "Paper claim: " << claim << "\n\n";
+}
+
+/// Whether the bench runs the reduced sweep (default: full).
+inline bool quick(const Cli& cli) { return cli.get("scale", "full") == "small"; }
+
+/// A named graph instance for family sweeps.
+struct Instance {
+  std::string name;
+  Graph graph;
+};
+
+inline Instance make_instance(const std::string& family, Vertex n,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "path") return {family, make_path(n, {1.0, 2.0}, rng)};
+  if (family == "cycle") return {family, make_cycle(n, {1.0, 2.0}, rng)};
+  if (family == "grid") {
+    Vertex side = 1;
+    while (side * side < n) ++side;
+    return {family, make_grid(side, side, {1.0, 2.0}, rng)};
+  }
+  if (family == "gnm") return {family, make_gnm(n, 3 * n, {1.0, 4.0}, rng)};
+  if (family == "geometric") {
+    const double radius = 2.2 / std::sqrt(static_cast<double>(n));
+    return {family, make_geometric(n, radius, rng)};
+  }
+  if (family == "caterpillar") {
+    return {family, make_caterpillar(n / 4, 3, 4.0, 1.0)};
+  }
+  if (family == "cliquechain") {
+    return {family, make_clique_chain(n / 8, 8, {1.0, 2.0}, rng)};
+  }
+  throw std::invalid_argument("unknown graph family: " + family);
+}
+
+}  // namespace pmte::bench

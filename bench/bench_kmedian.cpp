@@ -1,0 +1,49 @@
+// E9 — k-median quality (Section 9, Theorem 9.2).
+//
+// Claim: the FRT-based algorithm achieves an expected O(log k)
+// approximation on graph inputs.  We report its cost relative to a local
+// search baseline (≈5-approximation) and to random centers.
+
+#include "bench/bench_common.hpp"
+#include "src/apps/kmedian.hpp"
+
+namespace pmte::bench {
+namespace {
+
+void run(const Cli& cli) {
+  print_header("E9: k-median",
+               "Theorem 9.2 — expected O(log k)-approximation with "
+               "~O(m^(1+eps)+k^3) work");
+  Rng rng(cli.seed());
+  const Vertex n = quick(cli) ? 256 : 900;
+  Table t({"family", "n", "k", "FRT cost", "local-search cost",
+           "random cost", "FRT/LS", "|Q|", "FRT time [ms]"});
+
+  for (const auto* family : {"grid", "geometric"}) {
+    auto inst = make_instance(family, n, rng());
+    const auto& g = inst.graph;
+    for (const std::size_t k : {5U, 10U, 20U}) {
+      KMedianOptions opts;
+      opts.trees = 4;
+      const Timer timer;
+      const auto frt = kmedian_frt(g, k, opts, rng);
+      const double frt_ms = timer.millis();
+      const auto ls = kmedian_local_search(g, k, 8, rng);
+      const auto random = kmedian_random(g, k, rng);
+      t.add_row({inst.name, cell(std::size_t{g.num_vertices()}),
+                 cell(k), cell(frt.cost), cell(ls.cost), cell(random.cost),
+                 cell(frt.cost / ls.cost), cell(frt.candidates),
+                 cell(frt_ms)});
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pmte::bench
+
+int main(int argc, char** argv) {
+  const pmte::Cli cli(argc, argv);
+  pmte::bench::run(cli);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E3 — LE-list lengths (Lemma 7.6).
+//
+// Claim: under a uniformly random vertex order every LE list has length
+// O(log n) w.h.p. (expected length ≈ H_n ≈ ln n).  We sweep families and
+// sizes and report mean/max list length against ln n, plus the runtime of
+// the sequential baseline (Cohen/Mendel–Schwob style).
+
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "src/frt/le_lists.hpp"
+
+namespace pmte::bench {
+namespace {
+
+void run(const Cli& cli) {
+  print_header("E3: LE-list length",
+               "Lemma 7.6 — |LE list| in O(log n) w.h.p.; expected ~ ln n");
+  const std::vector<Vertex> sizes =
+      quick(cli) ? std::vector<Vertex>{256, 1024}
+                 : std::vector<Vertex>{256, 1024, 4096, 16384};
+  Rng rng(cli.seed());
+  Table t({"family", "n", "ln(n)", "avg |list|", "p99 |list|", "max |list|",
+           "seq time [ms]"});
+  for (const auto* family : {"gnm", "grid", "path", "geometric"}) {
+    for (const Vertex n : sizes) {
+      auto inst = make_instance(family, n, rng());
+      const auto& g = inst.graph;
+      const auto order = VertexOrder::random(g.num_vertices(), rng);
+      const Timer timer;
+      const auto le = le_lists_sequential(g, order);
+      const double ms = timer.millis();
+      std::vector<double> lens;
+      lens.reserve(le.lists.size());
+      for (const auto& l : le.lists) {
+        lens.push_back(static_cast<double>(l.size()));
+      }
+      const auto s = summarize(std::move(lens));
+      t.add_row({inst.name, cell(std::size_t{g.num_vertices()}),
+                 cell(std::log(static_cast<double>(g.num_vertices()))),
+                 cell(s.mean), cell(s.p99), cell(s.max), cell(ms)});
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pmte::bench
+
+int main(int argc, char** argv) {
+  const pmte::Cli cli(argc, argv);
+  pmte::bench::run(cli);
+  return 0;
+}

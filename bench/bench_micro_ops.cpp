@@ -1,0 +1,85 @@
+// E13 — micro-benchmarks (google-benchmark) of the semimodule primitives:
+// aggregation merges (Lemma 2.3), the LE filter (Lemma 7.7), the
+// k-smallest filter, and path-set products.
+
+#include <benchmark/benchmark.h>
+
+#include "src/algebra/distance_map.hpp"
+#include "src/algebra/path_set.hpp"
+#include "src/util/rng.hpp"
+
+namespace pmte {
+namespace {
+
+DistanceMap random_map(Rng& rng, Vertex key_range, std::size_t entries) {
+  std::vector<DistEntry> es;
+  es.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    es.push_back(DistEntry{static_cast<Vertex>(rng.below(key_range)),
+                           rng.uniform(0.0, 1000.0)});
+  }
+  return DistanceMap::from_entries(std::move(es));
+}
+
+void BM_MergeMin(benchmark::State& state) {
+  Rng rng(1);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto a = random_map(rng, 1 << 20, size);
+  const auto b = random_map(rng, 1 << 20, size);
+  for (auto _ : state) {
+    auto x = a;
+    x.merge_min(b, 1.5);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * size));
+}
+BENCHMARK(BM_MergeMin)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_LeFilter(benchmark::State& state) {
+  Rng rng(2);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto m = random_map(rng, 1 << 20, size);
+  for (auto _ : state) {
+    auto x = m;
+    x.keep_least_elements();
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_LeFilter)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_KeepKSmallest(benchmark::State& state) {
+  Rng rng(3);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto m = random_map(rng, 1 << 20, size);
+  for (auto _ : state) {
+    auto x = m;
+    x.keep_k_smallest(16);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_KeepKSmallest)->Arg(256)->Arg(4096);
+
+void BM_PathSetTimes(benchmark::State& state) {
+  Rng rng(4);
+  PathSet a, b;
+  for (Vertex i = 0; i < 8; ++i) {
+    a = a.plus(PathSet::single(VertexPath{{0, static_cast<Vertex>(i + 1)}},
+                               rng.uniform(0.0, 10.0)));
+    b = b.plus(PathSet::single(
+        VertexPath{{static_cast<Vertex>(i + 1), static_cast<Vertex>(i + 9)}},
+        rng.uniform(0.0, 10.0)));
+  }
+  for (auto _ : state) {
+    auto c = a.times(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_PathSetTimes);
+
+}  // namespace
+}  // namespace pmte
+
+BENCHMARK_MAIN();

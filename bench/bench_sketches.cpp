@@ -1,0 +1,71 @@
+// E15 — LE-list distance sketches (extension application; Cohen [12],
+// Cohen–Kaplan [14] lineage).
+//
+// Claim shape: sketches of T·O(log n) entries per vertex answer distance
+// queries with small multiplicative overestimation that improves with T.
+
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "src/apps/distance_sketches.hpp"
+#include "src/graph/shortest_paths.hpp"
+
+namespace pmte::bench {
+namespace {
+
+void run(const Cli& cli) {
+  print_header("E15: distance sketches",
+               "LE lists as distance labels: T x O(log n) entries/vertex, "
+               "upper-bound estimates tightening with T");
+  Rng rng(cli.seed());
+  const std::vector<Vertex> sizes = quick(cli)
+                                        ? std::vector<Vertex>{256}
+                                        : std::vector<Vertex>{256, 1024};
+  Table t({"family", "n", "T", "entries/vertex", "avg est/dist",
+           "p99 est/dist", "max est/dist", "build [ms]"});
+  for (const auto* family : {"gnm", "grid", "geometric"}) {
+    for (const Vertex n : sizes) {
+      auto inst = make_instance(family, n, rng());
+      const auto& g = inst.graph;
+      // Exact distances from sampled sources for evaluation.
+      std::vector<Vertex> sources;
+      for (int i = 0; i < 12; ++i) {
+        sources.push_back(static_cast<Vertex>(rng.below(g.num_vertices())));
+      }
+      std::vector<std::vector<Weight>> exact;
+      exact.reserve(sources.size());
+      for (const Vertex s : sources) exact.push_back(dijkstra(g, s).dist);
+
+      for (const std::size_t T : {1U, 4U, 16U}) {
+        const Timer timer;
+        const auto sk = DistanceSketches::build(g, T, rng);
+        const double ms = timer.millis();
+        std::vector<double> ratios;
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+          for (Vertex v = 0; v < g.num_vertices();
+               v += std::max<Vertex>(1, g.num_vertices() / 100)) {
+            if (v == sources[i] || !is_finite(exact[i][v]) ||
+                exact[i][v] <= 0) {
+              continue;
+            }
+            ratios.push_back(sk.query(sources[i], v) / exact[i][v]);
+          }
+        }
+        const auto s = summarize(std::move(ratios));
+        t.add_row({inst.name, cell(std::size_t{g.num_vertices()}), cell(T),
+                   cell(sk.average_entries_per_vertex()), cell(s.mean),
+                   cell(s.p99), cell(s.max), cell(ms)});
+      }
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pmte::bench
+
+int main(int argc, char** argv) {
+  const pmte::Cli cli(argc, argv);
+  pmte::bench::run(cli);
+  return 0;
+}

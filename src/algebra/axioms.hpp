@@ -1,0 +1,147 @@
+#pragma once
+// Algebraic axiom checkers (Definitions A.1–A.3).
+//
+// Used by the property-test suites: given concrete element samples, these
+// verify the semiring laws, the zero-preserving-semimodule laws
+// (Equations (2.1)–(2.5)) and the congruence-relation laws
+// (Equations (2.12)–(2.13)) that the MBF-like framework relies on.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/algebra/semiring.hpp"
+
+namespace pmte {
+
+/// Result of an axiom check: empty `violation` means the law holds on the
+/// given samples.
+struct AxiomReport {
+  bool ok = true;
+  std::string violation;
+
+  void fail(std::string what) {
+    if (ok) {
+      ok = false;
+      violation = std::move(what);
+    }
+  }
+};
+
+/// Check all semiring axioms on the cartesian cube of `samples`.
+/// `eq` compares semiring values (use exact equality for discrete
+/// semirings; a tolerant comparison is fine for doubles since our ops are
+/// min/max/+).
+template <Semiring S>
+[[nodiscard]] AxiomReport check_semiring_axioms(
+    const std::vector<typename S::Value>& samples,
+    const std::function<bool(const typename S::Value&,
+                             const typename S::Value&)>& eq) {
+  AxiomReport rep;
+  const auto zero = S::zero();
+  const auto one = S::one();
+  for (const auto& x : samples) {
+    if (!eq(S::plus(x, zero), x)) rep.fail("x ⊕ 0 != x");
+    if (!eq(S::plus(zero, x), x)) rep.fail("0 ⊕ x != x");
+    if (!eq(S::times(x, one), x)) rep.fail("x ⊙ 1 != x");
+    if (!eq(S::times(one, x), x)) rep.fail("1 ⊙ x != x");
+    if (!eq(S::times(x, zero), zero)) rep.fail("x ⊙ 0 != 0");
+    if (!eq(S::times(zero, x), zero)) rep.fail("0 ⊙ x != 0");
+    for (const auto& y : samples) {
+      if (!eq(S::plus(x, y), S::plus(y, x))) rep.fail("⊕ not commutative");
+      for (const auto& z : samples) {
+        if (!eq(S::plus(S::plus(x, y), z), S::plus(x, S::plus(y, z))))
+          rep.fail("⊕ not associative");
+        if (!eq(S::times(S::times(x, y), z), S::times(x, S::times(y, z))))
+          rep.fail("⊙ not associative");
+        if (!eq(S::times(x, S::plus(y, z)),
+                S::plus(S::times(x, y), S::times(x, z))))
+          rep.fail("left distributivity fails");
+        if (!eq(S::times(S::plus(y, z), x),
+                S::plus(S::times(y, x), S::times(z, x))))
+          rep.fail("right distributivity fails");
+      }
+    }
+  }
+  return rep;
+}
+
+/// Check the zero-preserving semimodule axioms (Definition A.3,
+/// Equations (2.1)–(2.5)) for a semimodule with elements `M` over
+/// semiring S.  The module operations are passed as callables:
+///   madd(x, y)  — x ⊕ y in M
+///   smul(s, x)  — s ⊙ x
+///   bottom      — neutral element ⊥ of (M, ⊕)
+template <Semiring S, typename M>
+[[nodiscard]] AxiomReport check_semimodule_axioms(
+    const std::vector<typename S::Value>& scalars,
+    const std::vector<M>& elements,
+    const std::function<M(const M&, const M&)>& madd,
+    const std::function<M(const typename S::Value&, const M&)>& smul,
+    const M& bottom, const std::function<bool(const M&, const M&)>& eq) {
+  AxiomReport rep;
+  for (const auto& x : elements) {
+    if (!eq(smul(S::one(), x), x)) rep.fail("1 ⊙ x != x           (2.1)");
+    if (!eq(smul(S::zero(), x), bottom))
+      rep.fail("0 ⊙ x != ⊥           (2.2)");
+    if (!eq(madd(x, bottom), x)) rep.fail("x ⊕ ⊥ != x");
+    for (const auto& y : elements) {
+      if (!eq(madd(x, y), madd(y, x))) rep.fail("module ⊕ not commutative");
+      for (const auto& z : elements) {
+        if (!eq(madd(madd(x, y), z), madd(x, madd(y, z))))
+          rep.fail("module ⊕ not associative");
+      }
+      for (const auto& s : scalars) {
+        if (!eq(smul(s, madd(x, y)), madd(smul(s, x), smul(s, y))))
+          rep.fail("s(x ⊕ y) != sx ⊕ sy (2.3)");
+      }
+    }
+    for (const auto& s : scalars) {
+      for (const auto& t : scalars) {
+        if (!eq(smul(S::plus(s, t), x), madd(smul(s, x), smul(t, x))))
+          rep.fail("(s ⊕ t)x != sx ⊕ tx (2.4)");
+        if (!eq(smul(S::times(s, t), x), smul(s, smul(t, x))))
+          rep.fail("(s ⊙ t)x != s(tx)   (2.5)");
+      }
+    }
+  }
+  return rep;
+}
+
+/// Check that a projection r induces a congruence relation via Lemma 2.8:
+///   (2.12)  r(x) = r(x') ⇒ r(sx) = r(sx')
+///   (2.13)  r(x) = r(x') ∧ r(y) = r(y') ⇒ r(x ⊕ y) = r(x' ⊕ y')
+/// All pairs (x, x') and (y, y') with equal representatives among
+/// `elements` are exercised.
+template <Semiring S, typename M>
+[[nodiscard]] AxiomReport check_congruence(
+    const std::vector<typename S::Value>& scalars,
+    const std::vector<M>& elements,
+    const std::function<M(const M&, const M&)>& madd,
+    const std::function<M(const typename S::Value&, const M&)>& smul,
+    const std::function<M(const M&)>& r,
+    const std::function<bool(const M&, const M&)>& eq) {
+  AxiomReport rep;
+  for (const auto& x : elements) {
+    if (!eq(r(r(x)), r(x))) rep.fail("r is not a projection (r∘r != r)");
+  }
+  for (const auto& x : elements) {
+    for (const auto& x2 : elements) {
+      if (!eq(r(x), r(x2))) continue;
+      for (const auto& s : scalars) {
+        if (!eq(r(smul(s, x)), r(smul(s, x2))))
+          rep.fail("congruence (2.12) violated under scalar multiplication");
+      }
+      for (const auto& y : elements) {
+        for (const auto& y2 : elements) {
+          if (!eq(r(y), r(y2))) continue;
+          if (!eq(r(madd(x, y)), r(madd(x2, y2))))
+            rep.fail("congruence (2.13) violated under aggregation");
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace pmte

@@ -1,0 +1,138 @@
+#include "src/algebra/distance_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+DistanceMap DistanceMap::from_entries(std::vector<DistEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const DistEntry& a, const DistEntry& b) {
+              return a.key < b.key || (a.key == b.key && a.dist < b.dist);
+            });
+  DistanceMap m;
+  m.entries_.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (!is_finite(e.dist)) continue;  // ∞ entries are implicit
+    if (!m.entries_.empty() && m.entries_.back().key == e.key) continue;
+    m.entries_.push_back(e);
+  }
+  return m;
+}
+
+Weight DistanceMap::at(Vertex key) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const DistEntry& e, Vertex k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) return it->dist;
+  return inf_weight();
+}
+
+void DistanceMap::add_to_all(Weight s) {
+  if (!is_finite(s)) {
+    entries_.clear();  // ∞ ⊙ x = ⊥  (2.2)
+    return;
+  }
+  for (auto& e : entries_) e.dist += s;
+  WorkDepth::add_work(entries_.size());
+}
+
+void DistanceMap::merge_min(const DistanceMap& other, Weight shift) {
+  if (!is_finite(shift) || other.empty()) return;
+  WorkDepth::add_work(entries_.size() + other.entries_.size());
+  // The merge is the innermost operation of every MBF-like iteration; a
+  // thread-local scratch buffer avoids an allocation per relaxation.
+  thread_local std::vector<DistEntry> scratch;
+  scratch.clear();
+  scratch.reserve(entries_.size() + other.entries_.size());
+  std::size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    const auto& a = entries_[i];
+    const DistEntry b{other.entries_[j].key, other.entries_[j].dist + shift};
+    if (a.key < b.key) {
+      scratch.push_back(a);
+      ++i;
+    } else if (b.key < a.key) {
+      scratch.push_back(b);
+      ++j;
+    } else {
+      scratch.push_back(DistEntry{a.key, std::min(a.dist, b.dist)});
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < entries_.size(); ++i) scratch.push_back(entries_[i]);
+  for (; j < other.entries_.size(); ++j)
+    scratch.push_back(
+        DistEntry{other.entries_[j].key, other.entries_[j].dist + shift});
+  entries_.swap(scratch);  // scratch keeps its capacity for the next merge
+}
+
+void DistanceMap::drop_beyond(Weight bound) {
+  std::erase_if(entries_,
+                [bound](const DistEntry& e) { return e.dist > bound; });
+}
+
+void DistanceMap::keep_k_smallest(std::size_t k) {
+  if (entries_.size() <= k) return;
+  WorkDepth::add_work(entries_.size());
+  std::vector<DistEntry> by_dist(entries_.begin(), entries_.end());
+  std::nth_element(by_dist.begin(), by_dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   by_dist.end(), [](const DistEntry& a, const DistEntry& b) {
+                     return a.dist < b.dist ||
+                            (a.dist == b.dist && a.key < b.key);
+                   });
+  const DistEntry pivot = by_dist[k - 1];
+  std::erase_if(entries_, [&pivot](const DistEntry& e) {
+    return e.dist > pivot.dist ||
+           (e.dist == pivot.dist && e.key > pivot.key);
+  });
+}
+
+void DistanceMap::keep_least_elements() {
+  if (entries_.size() <= 1) return;
+  WorkDepth::add_work(entries_.size());
+  // Sort a copy by (dist, key); keep entries whose key is a strict running
+  // minimum (Lemma 7.7's tournament, done with one sort + scan).
+  std::vector<DistEntry> by_dist(entries_.begin(), entries_.end());
+  std::sort(by_dist.begin(), by_dist.end(),
+            [](const DistEntry& a, const DistEntry& b) {
+              return a.dist < b.dist || (a.dist == b.dist && a.key < b.key);
+            });
+  entries_.clear();
+  Vertex min_key = no_vertex();
+  for (const auto& e : by_dist) {
+    if (e.key < min_key) {
+      min_key = e.key;
+      entries_.push_back(e);
+    }
+  }
+  // Surviving entries have ascending dist and strictly descending key;
+  // restore the sorted-by-key invariant by reversing.
+  std::reverse(entries_.begin(), entries_.end());
+}
+
+bool DistanceMap::is_least_element_list() const noexcept {
+  // Sorted by ascending key; LE lists additionally have strictly
+  // *descending* distance along ascending key (the staircase).
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i - 1].key >= entries_[i].key) return false;
+    if (entries_[i - 1].dist <= entries_[i].dist) return false;
+  }
+  return true;
+}
+
+bool approx_equal(const DistanceMap& a, const DistanceMap& b,
+                  double rel_tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key) return false;
+    const double scale = std::max({1.0, std::abs(a[i].dist), std::abs(b[i].dist)});
+    if (std::abs(a[i].dist - b[i].dist) > rel_tol * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace pmte

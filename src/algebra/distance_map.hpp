@@ -1,0 +1,96 @@
+#pragma once
+// The distance-map semimodule D (Definition 2.1).
+//
+// An element of D assigns a value of R≥0 ∪ {∞} to every vertex; we store
+// only the finite entries as a vector of (key, dist) pairs sorted by key
+// (the paper's "list of index–distance pairs", Lemma 2.3).  Keys are
+// opaque 32-bit identifiers — plain vertex ids for source detection /
+// APSP-style algorithms, *permutation ranks* for LE lists (so that the
+// random order "u < v" is an integer comparison).
+//
+// Module operations:
+//   ⊕  merge_min       — pointwise minimum (sorted merge)
+//   s⊙ add_to_all      — uniform shift by the propagation distance
+//   ⊥  the empty map   — all-∞ vector
+
+#include <span>
+#include <vector>
+
+#include "src/parallel/counters.hpp"
+#include "src/util/types.hpp"
+
+namespace pmte {
+
+/// One finite entry of a distance map.
+struct DistEntry {
+  Vertex key;
+  Weight dist;
+
+  friend bool operator==(const DistEntry&, const DistEntry&) = default;
+};
+
+/// Sparse distance map; invariant: entries sorted by strictly increasing
+/// key, all distances finite.
+class DistanceMap {
+ public:
+  DistanceMap() = default;
+
+  /// {key ↦ d}; the typical MBF initialisation x⁽⁰⁾_v = unit vector at v.
+  static DistanceMap singleton(Vertex key, Weight d = 0.0) {
+    DistanceMap m;
+    m.entries_.push_back(DistEntry{key, d});
+    return m;
+  }
+
+  static DistanceMap from_entries(std::vector<DistEntry> entries);
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::span<const DistEntry> entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const DistEntry& operator[](std::size_t i) const noexcept {
+    return entries_[i];
+  }
+
+  /// Value at `key`; inf_weight() when absent.
+  [[nodiscard]] Weight at(Vertex key) const noexcept;
+
+  /// s ⊙ x : uniformly add `s` to all entries (Equation (2.7)).
+  /// s = ∞ yields ⊥ (Equation (2.2)).
+  void add_to_all(Weight s);
+
+  /// x ⊕ y into *this (Equation (2.6)); `shift` adds a propagation distance
+  /// to `other`'s entries on the fly, fusing s⊙y ⊕ x into one pass.
+  void merge_min(const DistanceMap& other, Weight shift = 0.0);
+
+  /// Remove all entries with dist > bound (used by distance-bounded
+  /// filters; ⊥-preserving).
+  void drop_beyond(Weight bound);
+
+  /// Keep the k smallest entries under lexicographic (dist, key) order —
+  /// the source-detection filter core (Example 3.2).
+  void keep_k_smallest(std::size_t k);
+
+  /// Keep only entries whose key is *not dominated*: entry (key, dist) is
+  /// dominated iff some other entry (key', dist') has key' < key and
+  /// dist' <= dist.  This is the LE-list filter r of Definition 7.3.
+  /// Postcondition: sorted by key ascending ⇔ dist descending (staircase).
+  void keep_least_elements();
+
+  /// True iff no entry is dominated (LE staircase invariant).
+  [[nodiscard]] bool is_least_element_list() const noexcept;
+
+  void clear() noexcept { entries_.clear(); }
+
+  friend bool operator==(const DistanceMap&, const DistanceMap&) = default;
+
+ private:
+  std::vector<DistEntry> entries_;
+};
+
+/// Approximate equality for testing: same keys, distances within rel. tol.
+[[nodiscard]] bool approx_equal(const DistanceMap& a, const DistanceMap& b,
+                                double rel_tol = 1e-9);
+
+}  // namespace pmte

@@ -1,0 +1,134 @@
+#include "src/algebra/path_set.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+bool VertexPath::contains(Vertex v) const {
+  return std::find(hops.begin(), hops.end(), v) != hops.end();
+}
+
+PathSet PathSet::single(VertexPath path, Weight w) {
+  PMTE_CHECK(!path.hops.empty(), "paths must be non-empty");
+  PathSet p;
+  if (is_finite(w)) p.entries_.push_back(PathEntry{std::move(path), w});
+  return p;
+}
+
+Weight PathSet::weight_of(const VertexPath& p) const {
+  if (has_trivial_ && p.hops.size() == 1) return 0.0;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), p,
+      [](const PathEntry& e, const VertexPath& q) { return e.path < q; });
+  if (it != entries_.end() && it->path == p) return it->weight;
+  return inf_weight();
+}
+
+void PathSet::normalize() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const PathEntry& a, const PathEntry& b) {
+              return a.path < b.path ||
+                     (a.path == b.path && a.weight < b.weight);
+            });
+  std::vector<PathEntry> out;
+  out.reserve(entries_.size());
+  for (auto& e : entries_) {
+    if (!is_finite(e.weight)) continue;
+    if (!out.empty() && out.back().path == e.path) continue;  // keep min
+    out.push_back(std::move(e));
+  }
+  entries_ = std::move(out);
+  if (has_trivial_) {
+    // Trivial paths are implicit; an explicit (v) entry with weight 0 is
+    // redundant, one with positive weight is dominated by the implicit 0.
+    std::erase_if(entries_,
+                  [](const PathEntry& e) { return e.path.hops.size() == 1; });
+  }
+}
+
+PathSet PathSet::plus(const PathSet& other) const {
+  PathSet out;
+  out.has_trivial_ = has_trivial_ || other.has_trivial_;
+  out.entries_.reserve(entries_.size() + other.entries_.size());
+  out.entries_.insert(out.entries_.end(), entries_.begin(), entries_.end());
+  out.entries_.insert(out.entries_.end(), other.entries_.begin(),
+                      other.entries_.end());
+  out.normalize();
+  return out;
+}
+
+PathSet PathSet::times(const PathSet& other) const {
+  PathSet out;
+  // 1 ⊙ 1 = 1; trivial paths concatenate only with themselves trivially.
+  out.has_trivial_ = has_trivial_ && other.has_trivial_;
+  // trivial ⊙ y: (v) ◦ π works for π starting anywhere (prepending the
+  // trivial path of π's first vertex), contributing y's entries verbatim.
+  if (has_trivial_) {
+    out.entries_.insert(out.entries_.end(), other.entries_.begin(),
+                        other.entries_.end());
+  }
+  if (other.has_trivial_) {
+    out.entries_.insert(out.entries_.end(), entries_.begin(), entries_.end());
+  }
+  for (const auto& a : entries_) {
+    for (const auto& b : other.entries_) {
+      if (a.path.back() != b.path.front()) continue;  // not concatenable
+      VertexPath joined;
+      joined.hops.reserve(a.path.hops.size() + b.path.hops.size() - 1);
+      joined.hops = a.path.hops;
+      bool loop_free = true;
+      for (std::size_t i = 1; i < b.path.hops.size(); ++i) {
+        const Vertex v = b.path.hops[i];
+        if (joined.contains(v)) {
+          loop_free = false;  // would leave P; such π are implicitly ∞
+          break;
+        }
+        joined.hops.push_back(v);
+      }
+      if (!loop_free) continue;
+      out.entries_.push_back(PathEntry{std::move(joined), a.weight + b.weight});
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+PathSet PathSet::filter_k_shortest(Vertex target, std::size_t k,
+                                   bool distinct_weights) const {
+  // Group contained target-terminated paths by start vertex (the paper's
+  // P_k(v, s, x) for every v, Equations (3.23)/(3.26)–(3.27)).
+  std::map<Vertex, std::vector<PathEntry>> by_start;
+  for (const auto& e : entries_) {
+    if (e.path.back() != target) continue;
+    by_start[e.path.front()].push_back(e);
+  }
+  if (has_trivial_) {
+    // The implicit (target) path ends at target and starts there too.
+    by_start[target].push_back(
+        PathEntry{VertexPath{{target}}, 0.0});
+  }
+  PathSet out;
+  for (auto& [start, paths] : by_start) {
+    std::sort(paths.begin(), paths.end(),
+              [](const PathEntry& a, const PathEntry& b) {
+                return a.weight < b.weight ||
+                       (a.weight == b.weight && a.path < b.path);
+              });
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < paths.size() && kept < k; ++i) {
+      if (distinct_weights && i > 0 &&
+          paths[i].weight == paths[i - 1].weight) {
+        continue;  // k-DSDP: one representative per distinct weight
+      }
+      out.entries_.push_back(paths[i]);
+      ++kept;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace pmte

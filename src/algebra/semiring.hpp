@@ -1,0 +1,79 @@
+#pragma once
+// Semirings (Definition A.2 of the paper).
+//
+// A semiring policy is a stateless struct exposing
+//   Value  — the element type,
+//   zero() — neutral element of ⊕ (annihilator of ⊙),
+//   one()  — neutral element of ⊙,
+//   plus(a, b)  — the "addition" ⊕,
+//   times(a, b) — the "multiplication" ⊙.
+//
+// The library ships the three scalar semirings used in Sections 3.1, 3.2
+// and 3.4 (min-plus, max-min, Boolean); the all-paths semiring Pmin,+ of
+// Section 3.3 lives in path_set.hpp because its elements are dynamic.
+
+#include <concepts>
+#include <cstdint>
+
+#include "src/util/types.hpp"
+
+namespace pmte {
+
+template <typename S>
+concept Semiring = requires(typename S::Value a, typename S::Value b) {
+  { S::zero() } -> std::convertible_to<typename S::Value>;
+  { S::one() } -> std::convertible_to<typename S::Value>;
+  { S::plus(a, b) } -> std::convertible_to<typename S::Value>;
+  { S::times(a, b) } -> std::convertible_to<typename S::Value>;
+};
+
+/// The min-plus (tropical) semiring Smin,+ = (R≥0 ∪ {∞}, min, +)
+/// (Section 1.2).  The distance product over this semiring yields h-hop
+/// distances (Lemma 3.1).
+struct MinPlus {
+  using Value = Weight;
+  [[nodiscard]] static constexpr Value zero() noexcept { return inf_weight(); }
+  [[nodiscard]] static constexpr Value one() noexcept { return 0.0; }
+  [[nodiscard]] static constexpr Value plus(Value a, Value b) noexcept {
+    return a < b ? a : b;
+  }
+  [[nodiscard]] static constexpr Value times(Value a, Value b) noexcept {
+    // +inf must annihilate even against itself.
+    return (a == inf_weight() || b == inf_weight()) ? inf_weight() : a + b;
+  }
+};
+
+/// The max-min semiring Smax,min = (R≥0 ∪ {∞}, max, min) for widest-path /
+/// bottleneck problems (Definition 3.9, Lemma 3.10).
+struct MaxMin {
+  using Value = Weight;
+  [[nodiscard]] static constexpr Value zero() noexcept { return 0.0; }
+  [[nodiscard]] static constexpr Value one() noexcept { return inf_weight(); }
+  [[nodiscard]] static constexpr Value plus(Value a, Value b) noexcept {
+    return a > b ? a : b;
+  }
+  [[nodiscard]] static constexpr Value times(Value a, Value b) noexcept {
+    return a < b ? a : b;
+  }
+};
+
+/// The Boolean semiring B = ({0,1}, ∨, ∧) for connectivity (Section 3.4).
+/// Value is uint8_t rather than bool so that vectors and matrices over B
+/// expose real lvalue references (std::vector<bool> is a proxy type).
+struct BooleanSemiring {
+  using Value = std::uint8_t;
+  [[nodiscard]] static constexpr Value zero() noexcept { return 0; }
+  [[nodiscard]] static constexpr Value one() noexcept { return 1; }
+  [[nodiscard]] static constexpr Value plus(Value a, Value b) noexcept {
+    return (a || b) ? 1 : 0;
+  }
+  [[nodiscard]] static constexpr Value times(Value a, Value b) noexcept {
+    return (a && b) ? 1 : 0;
+  }
+};
+
+static_assert(Semiring<MinPlus>);
+static_assert(Semiring<MaxMin>);
+static_assert(Semiring<BooleanSemiring>);
+
+}  // namespace pmte

@@ -1,0 +1,51 @@
+#include "src/algebra/width_map.hpp"
+
+#include <algorithm>
+
+namespace pmte {
+
+Weight WidthMap::at(Vertex key) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const WidthEntry& e, Vertex k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) return it->width;
+  return 0.0;
+}
+
+void WidthMap::cap_at(Weight s) {
+  if (s <= 0.0) {
+    entries_.clear();
+    return;
+  }
+  for (auto& e : entries_) e.width = std::min(e.width, s);
+}
+
+void WidthMap::merge_max(const WidthMap& other, Weight cap) {
+  if (cap <= 0.0 || other.empty()) return;
+  std::vector<WidthEntry> out;
+  out.reserve(entries_.size() + other.entries_.size());
+  std::size_t i = 0, j = 0;
+  auto capped = [cap](const WidthEntry& e) {
+    return WidthEntry{e.key, std::min(e.width, cap)};
+  };
+  while (i < entries_.size() && j < other.entries_.size()) {
+    const auto& a = entries_[i];
+    const WidthEntry b = capped(other.entries_[j]);
+    if (a.key < b.key) {
+      out.push_back(a);
+      ++i;
+    } else if (b.key < a.key) {
+      out.push_back(b);
+      ++j;
+    } else {
+      out.push_back(WidthEntry{a.key, std::max(a.width, b.width)});
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < entries_.size(); ++i) out.push_back(entries_[i]);
+  for (; j < other.entries_.size(); ++j) out.push_back(capped(other.entries_[j]));
+  entries_ = std::move(out);
+}
+
+}  // namespace pmte

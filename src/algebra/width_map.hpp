@@ -1,0 +1,57 @@
+#pragma once
+// The widest-path semimodule W over Smax,min (Corollary 3.11).
+//
+// An element assigns a *width* in R≥0 ∪ {∞} to every vertex; 0 ("no path")
+// is the implicit default, so only positive-width entries are stored.
+// Module operations (Equations (3.7)–(3.8)):
+//   ⊕  pointwise max,
+//   s⊙ pointwise min with the scalar (bottleneck along an edge),
+//   ⊥  the all-zero vector (empty map).
+
+#include <span>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace pmte {
+
+struct WidthEntry {
+  Vertex key;
+  Weight width;
+
+  friend bool operator==(const WidthEntry&, const WidthEntry&) = default;
+};
+
+class WidthMap {
+ public:
+  WidthMap() = default;
+
+  static WidthMap singleton(Vertex key, Weight width = inf_weight()) {
+    WidthMap m;
+    if (width > 0.0) m.entries_.push_back(WidthEntry{key, width});
+    return m;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::span<const WidthEntry> entries() const noexcept {
+    return entries_;
+  }
+
+  /// Width at `key` (0 when absent).
+  [[nodiscard]] Weight at(Vertex key) const noexcept;
+
+  /// s ⊙ x : cap all widths at s; s = 0 yields ⊥.
+  void cap_at(Weight s);
+
+  /// x ⊕ y : pointwise maximum (sorted merge); `cap` applies s⊙ to `other`
+  /// on the fly.
+  void merge_max(const WidthMap& other, Weight cap = inf_weight());
+
+  friend bool operator==(const WidthMap&, const WidthMap&) = default;
+
+ private:
+  std::vector<WidthEntry> entries_;  // sorted by key, widths > 0
+};
+
+}  // namespace pmte

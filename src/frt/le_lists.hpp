@@ -1,0 +1,97 @@
+#pragma once
+// Least-Element (LE) lists (Section 7).
+//
+// Fixing a uniformly random total order on V, the LE list of v contains
+// (dist(v,w), w) exactly for those w that are closer to v than every vertex
+// preceding w in the order.  LE lists have length O(log n) w.h.p.
+// (Lemma 7.6) and are exactly the information needed to build an FRT tree
+// (Section 7.1, steps (3)–(4)).
+//
+// Computing LE lists is MBF-like (Definition 7.3 / Lemma 7.5): semiring
+// Smin,+, semimodule D, filter r = "drop dominated entries".  We represent
+// the random order by relabelling vertices with their *rank*: DistanceMap
+// keys of all LE states are ranks, so the order comparison is integral.
+
+#include <vector>
+
+#include "src/algebra/distance_map.hpp"
+#include "src/graph/graph.hpp"
+#include "src/mbf/engine.hpp"
+#include "src/oracle/mbf_oracle.hpp"
+#include "src/simgraph/simulated_graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace pmte {
+
+/// The random vertex order: rank_of[v] and its inverse vertex_of[r].
+struct VertexOrder {
+  std::vector<Vertex> rank_of;    // vertex → rank
+  std::vector<Vertex> vertex_of;  // rank → vertex
+
+  static VertexOrder random(Vertex n, Rng& rng);
+  static VertexOrder identity(Vertex n);
+
+  [[nodiscard]] Vertex n() const noexcept {
+    return static_cast<Vertex>(rank_of.size());
+  }
+};
+
+/// The MBF-like algebra of Definition 7.3: distance maps with the
+/// least-element filter.
+struct LeListAlgebra {
+  using State = DistanceMap;
+
+  [[nodiscard]] State bottom() const { return DistanceMap{}; }
+
+  void relax(State& acc, Weight w, Vertex /*from*/, Vertex /*to*/,
+             const State& x_from) const {
+    acc.merge_min(x_from, w);
+  }
+
+  void aggregate(State& acc, const State& y) const { acc.merge_min(y); }
+
+  void filter(State& x) const { x.keep_least_elements(); }
+
+  [[nodiscard]] bool equal(const State& a, const State& b) const {
+    return a == b;
+  }
+};
+
+static_assert(MbfAlgebra<LeListAlgebra>);
+static_assert(OracleAlgebra<LeListAlgebra>);
+
+/// x⁽⁰⁾ for LE-list computations: v starts knowing (rank(v), 0).
+[[nodiscard]] std::vector<DistanceMap> le_initial_state(
+    const VertexOrder& order);
+
+/// LE lists with per-run metadata.
+struct LeListsResult {
+  std::vector<DistanceMap> lists;  ///< per vertex, keys are ranks
+  unsigned iterations = 0;         ///< MBF-like iterations executed
+  unsigned base_iterations = 0;    ///< iterations on G' (oracle pipeline)
+  bool converged = false;
+};
+
+/// Khan-et-al style pipeline (Section 8.1): iterate r^V A_G directly to the
+/// fixpoint — Θ(SPD(G)) iterations.
+[[nodiscard]] LeListsResult le_lists_iteration(const Graph& g,
+                                               const VertexOrder& order,
+                                               unsigned max_iterations = 0);
+
+/// The paper's pipeline (Theorem 7.9): run the LE algebra on the simulated
+/// graph H through the oracle — O(log² n) H-iterations w.h.p.
+[[nodiscard]] LeListsResult le_lists_oracle(const SimulatedGraph& h,
+                                            const VertexOrder& order,
+                                            unsigned max_h_iterations = 0);
+
+/// Sequential baseline (Cohen [12] / Mendel–Schwob [33] style): sources in
+/// ascending rank order, pruned Dijkstras.  Exact; O(m log² n) expected.
+[[nodiscard]] LeListsResult le_lists_sequential(const Graph& g,
+                                                const VertexOrder& order);
+
+/// LE lists straight from an explicit metric (row-major n×n), the
+/// Blelloch-et-al input model: one filtered pass per vertex, Θ(n²) work.
+[[nodiscard]] LeListsResult le_lists_from_metric(
+    const std::vector<Weight>& dist, const VertexOrder& order);
+
+}  // namespace pmte

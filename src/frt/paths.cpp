@@ -1,0 +1,56 @@
+#include "src/frt/paths.hpp"
+
+#include <algorithm>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+PathUnfolder::PathUnfolder(const Graph& g, const FrtTree& tree)
+    : g_(g), tree_(tree) {
+  PMTE_CHECK(g.num_vertices() == tree.num_leaves(),
+             "tree/graph vertex count mismatch");
+}
+
+const SsspResult& PathUnfolder::sssp_from(Vertex source) {
+  auto it = cache_.find(source);
+  if (it == cache_.end()) {
+    it = cache_.emplace(source, dijkstra(g_, source)).first;
+  }
+  return it->second;
+}
+
+UnfoldedEdge PathUnfolder::unfold(FrtTree::NodeId child) {
+  const auto& c = tree_.node(child);
+  PMTE_CHECK(c.parent != FrtTree::invalid_node, "root has no parent edge");
+  const auto& p = tree_.node(c.parent);
+  const Vertex a = c.leading;
+  const Vertex b = p.leading;
+  const Vertex v0 = tree_.node(c.representative_leaf).leaf_vertex;
+  PMTE_CHECK(v0 != no_vertex(), "representative leaf missing");
+
+  const auto& sp = sssp_from(v0);
+  auto trace = [&](Vertex target) {
+    std::vector<Vertex> rev;
+    PMTE_CHECK(is_finite(sp.dist[target]),
+               "leading vertex unreachable from representative leaf");
+    for (Vertex v = target; v != no_vertex(); v = sp.parent[v]) {
+      rev.push_back(v);
+      if (v == v0) break;
+    }
+    PMTE_CHECK(rev.back() == v0, "path trace did not reach the leaf");
+    return rev;  // target … v0
+  };
+
+  UnfoldedEdge out;
+  // a … v0 … b
+  auto to_a = trace(a);           // a … v0
+  const auto to_b = trace(b);     // b … v0
+  out.path = std::move(to_a);
+  out.path.insert(out.path.end(), to_b.rbegin() + 1, to_b.rend());
+  std::reverse(out.path.begin(), out.path.end());  // cosmetic: b … v0 … a
+  out.weight = sp.dist[a] + sp.dist[b];
+  return out;
+}
+
+}  // namespace pmte

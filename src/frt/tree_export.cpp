@@ -1,0 +1,51 @@
+#include "src/frt/tree_export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace pmte {
+
+void write_dot(const FrtTree& tree, std::ostream& os) {
+  os << "digraph frt {\n  rankdir=BT;\n  node [shape=circle];\n";
+  for (FrtTree::NodeId id = 0; id < tree.num_nodes(); ++id) {
+    const auto& nd = tree.node(id);
+    if (nd.leaf_vertex != no_vertex()) {
+      os << "  n" << id << " [shape=box,label=\"v" << nd.leaf_vertex
+         << "\"];\n";
+    } else {
+      os << "  n" << id << " [label=\"L" << nd.level << "\"];\n";
+    }
+    if (nd.parent != FrtTree::invalid_node) {
+      os << "  n" << id << " -> n" << nd.parent << " [label=\""
+         << nd.parent_edge << "\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+void write_tree(const FrtTree& tree, std::ostream& os) {
+  os << "frt-tree " << tree.num_nodes() << ' ' << tree.num_levels() << ' '
+     << tree.beta() << '\n';
+  for (FrtTree::NodeId id = 0; id < tree.num_nodes(); ++id) {
+    const auto& nd = tree.node(id);
+    os << id << ' '
+       << (nd.parent == FrtTree::invalid_node
+               ? -1
+               : static_cast<long long>(nd.parent))
+       << ' ' << nd.level << ' ' << nd.leading << ' '
+       << (nd.leaf_vertex == no_vertex()
+               ? -1
+               : static_cast<long long>(nd.leaf_vertex))
+       << ' ' << nd.parent_edge << '\n';
+  }
+}
+
+std::string tree_summary(const FrtTree& tree) {
+  std::ostringstream os;
+  os << "nodes=" << tree.num_nodes() << " levels=" << tree.num_levels()
+     << " leaves=" << tree.num_leaves()
+     << " total_weight=" << tree.total_edge_weight();
+  return os.str();
+}
+
+}  // namespace pmte

@@ -1,0 +1,22 @@
+#pragma once
+// FRT tree export: Graphviz DOT for visual inspection and a line-based
+// text serialisation with exact round-tripping (node per line:
+// "id parent level leading leaf_vertex edge_weight").
+
+#include <iosfwd>
+#include <string>
+
+#include "src/frt/frt_tree.hpp"
+
+namespace pmte {
+
+/// Graphviz DOT rendering (leaves labelled with their graph vertex).
+void write_dot(const FrtTree& tree, std::ostream& os);
+
+/// Text serialisation capturing the full topology and weights.
+void write_tree(const FrtTree& tree, std::ostream& os);
+
+/// Summary line: "nodes=… levels=… leaves=… total_weight=…".
+[[nodiscard]] std::string tree_summary(const FrtTree& tree);
+
+}  // namespace pmte

@@ -1,0 +1,29 @@
+#pragma once
+// Δ-stepping SSSP (Meyer & Sanders): the standard practical parallel
+// shortest-path algorithm, bridging Dijkstra (work-efficient, sequential)
+// and Bellman-Ford (parallel, work-hungry) — the trade-off the paper's
+// related-work section calls the "sequential bottleneck" (§1.1).
+//
+// Vertices are kept in buckets of width Δ; each phase settles one bucket
+// by repeatedly relaxing its *light* edges (weight < Δ) in parallel until
+// the bucket empties, then relaxes heavy edges once.  With Δ ≈ average
+// edge weight the number of phases is ≈ (max distance)/Δ.
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace pmte {
+
+struct DeltaSteppingResult {
+  std::vector<Weight> dist;
+  unsigned phases = 0;       ///< buckets processed (depth proxy)
+  unsigned relaxations = 0;  ///< inner light-edge rounds
+};
+
+/// Δ-stepping from `source`; delta = 0 picks max(avg edge weight, min).
+[[nodiscard]] DeltaSteppingResult delta_stepping(const Graph& g,
+                                                 Vertex source,
+                                                 Weight delta = 0.0);
+
+}  // namespace pmte

@@ -1,0 +1,260 @@
+#include "src/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+namespace {
+
+/// Random spanning tree via a random attachment order (uniform recursive
+/// tree on a random permutation): guarantees connectivity.
+std::vector<WeightedEdge> random_spanning_tree(Vertex n, WeightModel w,
+                                               Rng& rng) {
+  std::vector<WeightedEdge> edges;
+  if (n < 2) return edges;
+  auto order = random_permutation(n, rng);
+  edges.reserve(n - 1);
+  for (Vertex i = 1; i < n; ++i) {
+    const Vertex parent = order[rng.below(i)];
+    edges.push_back(WeightedEdge{order[i], parent, w.draw(rng)});
+  }
+  return edges;
+}
+
+}  // namespace
+
+Graph make_path(Vertex n, WeightModel w, Rng rng) {
+  PMTE_CHECK(n >= 1, "path needs at least one vertex");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (Vertex i = 0; i + 1 < n; ++i)
+    edges.push_back(WeightedEdge{i, i + 1, w.draw(rng)});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_cycle(Vertex n, WeightModel w, Rng rng) {
+  PMTE_CHECK(n >= 3, "cycle needs at least three vertices");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n);
+  for (Vertex i = 0; i < n; ++i)
+    edges.push_back(WeightedEdge{i, static_cast<Vertex>((i + 1) % n), w.draw(rng)});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_grid(Vertex rows, Vertex cols, WeightModel w, Rng rng) {
+  PMTE_CHECK(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  const Vertex n = rows * cols;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        edges.push_back(WeightedEdge{id(r, c), id(r, c + 1), w.draw(rng)});
+      if (r + 1 < rows)
+        edges.push_back(WeightedEdge{id(r, c), id(r + 1, c), w.draw(rng)});
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_torus(Vertex rows, Vertex cols, WeightModel w, Rng rng) {
+  PMTE_CHECK(rows >= 3 && cols >= 3, "torus dimensions must be >= 3");
+  const Vertex n = rows * cols;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      edges.push_back(
+          WeightedEdge{id(r, c), id(r, (c + 1) % cols), w.draw(rng)});
+      edges.push_back(
+          WeightedEdge{id(r, c), id((r + 1) % rows, c), w.draw(rng)});
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_star(Vertex n, WeightModel w, Rng rng) {
+  PMTE_CHECK(n >= 2, "star needs at least two vertices");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n - 1);
+  for (Vertex i = 1; i < n; ++i)
+    edges.push_back(WeightedEdge{0, i, w.draw(rng)});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_complete(Vertex n, WeightModel w, Rng rng) {
+  PMTE_CHECK(n >= 2, "complete graph needs at least two vertices");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      edges.push_back(WeightedEdge{u, v, w.draw(rng)});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_binary_tree(Vertex n, WeightModel w, Rng rng) {
+  PMTE_CHECK(n >= 1, "tree needs at least one vertex");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (Vertex i = 1; i < n; ++i)
+    edges.push_back(WeightedEdge{i, (i - 1) / 2, w.draw(rng)});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_gnm(Vertex n, std::size_t m, WeightModel w, Rng rng) {
+  PMTE_CHECK(n >= 2, "G(n,m) needs at least two vertices");
+  const std::size_t max_m = static_cast<std::size_t>(n) * (n - 1) / 2;
+  PMTE_CHECK(m >= n - 1 && m <= max_m, "G(n,m): m out of range");
+  auto edges = random_spanning_tree(n, w, rng);
+  std::set<std::pair<Vertex, Vertex>> present;
+  for (const auto& e : edges)
+    present.emplace(std::min(e.u, e.v), std::max(e.u, e.v));
+  while (edges.size() < m) {
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const auto v = static_cast<Vertex>(rng.below(n));
+    if (u == v) continue;
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (!present.insert(key).second) continue;
+    edges.push_back(WeightedEdge{u, v, w.draw(rng)});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_geometric(Vertex n, double radius, Rng rng) {
+  PMTE_CHECK(n >= 2, "geometric graph needs at least two vertices");
+  PMTE_CHECK(radius > 0.0, "radius must be positive");
+  std::vector<double> x(n), y(n);
+  for (Vertex i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  auto dist = [&](Vertex a, Vertex b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  // Weight floor keeps the max/min weight ratio polynomially bounded even if
+  // two points coincide.
+  const double floor_w = radius * 1e-3;
+  std::vector<WeightedEdge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      const double d = dist(u, v);
+      if (d <= radius)
+        edges.push_back(WeightedEdge{u, v, std::max(d, floor_w)});
+    }
+  }
+  // Connectivity fallback: chain each vertex i>0 to its nearest predecessor.
+  for (Vertex i = 1; i < n; ++i) {
+    Vertex best = 0;
+    double bd = dist(i, 0);
+    for (Vertex j = 1; j < i; ++j) {
+      const double d = dist(i, j);
+      if (d < bd) {
+        bd = d;
+        best = j;
+      }
+    }
+    edges.push_back(WeightedEdge{i, best, std::max(bd, floor_w)});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_caterpillar(Vertex spine, Vertex legs, Weight spine_weight,
+                       Weight leg_weight) {
+  PMTE_CHECK(spine >= 2, "caterpillar needs spine >= 2");
+  const Vertex n = spine * (1 + legs);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(spine) * (1 + legs));
+  for (Vertex s = 0; s + 1 < spine; ++s)
+    edges.push_back(WeightedEdge{s, static_cast<Vertex>(s + 1), spine_weight});
+  Vertex next = spine;
+  for (Vertex s = 0; s < spine; ++s)
+    for (Vertex l = 0; l < legs; ++l)
+      edges.push_back(WeightedEdge{s, next++, leg_weight});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_clique_chain(Vertex cliques, Vertex clique_size, WeightModel w,
+                        Rng rng) {
+  PMTE_CHECK(cliques >= 1 && clique_size >= 2, "clique chain parameters");
+  const Vertex n = cliques * clique_size;
+  std::vector<WeightedEdge> edges;
+  for (Vertex c = 0; c < cliques; ++c) {
+    const Vertex base = c * clique_size;
+    for (Vertex i = 0; i < clique_size; ++i)
+      for (Vertex j = i + 1; j < clique_size; ++j)
+        edges.push_back(WeightedEdge{static_cast<Vertex>(base + i),
+                                     static_cast<Vertex>(base + j),
+                                     w.draw(rng)});
+    if (c + 1 < cliques) {
+      edges.push_back(
+          WeightedEdge{static_cast<Vertex>(base + clique_size - 1),
+                       static_cast<Vertex>(base + clique_size), w.draw(rng)});
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_from_metric(Vertex n, const std::vector<Weight>& dist) {
+  PMTE_CHECK(dist.size() == static_cast<std::size_t>(n) * n,
+             "metric matrix must be n x n");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      const Weight d = dist[static_cast<std::size_t>(u) * n + v];
+      PMTE_CHECK(is_finite(d) && d > 0.0, "metric entries must be positive");
+      edges.push_back(WeightedEdge{u, v, d});
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_random_regular(Vertex n, unsigned degree, WeightModel w,
+                          Rng rng) {
+  PMTE_CHECK(n >= 3, "random regular graph needs n >= 3");
+  PMTE_CHECK(degree >= 2 && degree % 2 == 0,
+             "degree must be even and >= 2");
+  PMTE_CHECK(degree < n, "degree must be below n");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * degree / 2);
+  for (unsigned c = 0; c < degree / 2; ++c) {
+    const auto cycle = random_permutation(n, rng);
+    for (Vertex i = 0; i < n; ++i) {
+      edges.push_back(WeightedEdge{cycle[i],
+                                   cycle[(i + 1U) % n], w.draw(rng)});
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_dumbbell(Vertex k, Vertex bridge, WeightModel w, Rng rng) {
+  PMTE_CHECK(k >= 2, "dumbbell cliques need k >= 2");
+  const Vertex n = 2 * k + bridge;
+  std::vector<WeightedEdge> edges;
+  auto add_clique = [&](Vertex base) {
+    for (Vertex i = 0; i < k; ++i)
+      for (Vertex j = i + 1; j < k; ++j)
+        edges.push_back(WeightedEdge{static_cast<Vertex>(base + i),
+                                     static_cast<Vertex>(base + j),
+                                     w.draw(rng)});
+  };
+  add_clique(0);
+  add_clique(k + bridge);
+  // Bridge path: vertex k−1 → k → … → k+bridge.
+  for (Vertex i = 0; i <= bridge; ++i) {
+    const Vertex a = static_cast<Vertex>(k - 1 + i);
+    const Vertex b = static_cast<Vertex>(k + i);
+    edges.push_back(WeightedEdge{a, b, w.draw(rng)});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace pmte

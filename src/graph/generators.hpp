@@ -1,0 +1,96 @@
+#pragma once
+// Synthetic graph families used throughout tests and benches.
+//
+// The paper's guarantees are worst-case over all graphs with polynomially
+// bounded weight ratio; the families below stress its individual claims:
+//   * path / cycle / caterpillar — SPD(G) = Θ(n), the worst case for
+//     direct MBF-like iteration (motivates the simulated graph H, §4);
+//   * grid / torus / random geometric — the "road network"-like workloads
+//     tree embeddings are used on (k-median, buy-at-bulk, §§9–10);
+//   * Erdős–Rényi G(n, m) — low diameter, tests generic behaviour;
+//   * complete metric graphs — the Blelloch et al. input model (§1.1).
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace pmte {
+
+/// Weight model for generators.
+struct WeightModel {
+  Weight lo = 1.0;
+  Weight hi = 1.0;  ///< weights drawn uniformly from [lo, hi]; lo==hi → unit
+
+  [[nodiscard]] Weight draw(Rng& rng) const {
+    return lo >= hi ? lo : rng.uniform(lo, hi);
+  }
+};
+
+/// Simple path v0 − v1 − … − v_{n−1}.  SPD = n−1 for unit weights.
+[[nodiscard]] Graph make_path(Vertex n, WeightModel w = {}, Rng rng = Rng(1));
+
+/// Cycle on n vertices.
+[[nodiscard]] Graph make_cycle(Vertex n, WeightModel w = {}, Rng rng = Rng(2));
+
+/// rows × cols grid with 4-neighbourhood.
+[[nodiscard]] Graph make_grid(Vertex rows, Vertex cols, WeightModel w = {},
+                              Rng rng = Rng(3));
+
+/// rows × cols torus (grid with wraparound).
+[[nodiscard]] Graph make_torus(Vertex rows, Vertex cols, WeightModel w = {},
+                               Rng rng = Rng(4));
+
+/// Star: center 0 connected to all others.
+[[nodiscard]] Graph make_star(Vertex n, WeightModel w = {}, Rng rng = Rng(5));
+
+/// Complete graph K_n.
+[[nodiscard]] Graph make_complete(Vertex n, WeightModel w = {},
+                                  Rng rng = Rng(6));
+
+/// Balanced binary tree on n vertices (vertex i has parent (i−1)/2).
+[[nodiscard]] Graph make_binary_tree(Vertex n, WeightModel w = {},
+                                     Rng rng = Rng(7));
+
+/// Connected Erdős–Rényi-style G(n, m): a random spanning tree plus
+/// m − (n−1) uniformly random extra edges.
+[[nodiscard]] Graph make_gnm(Vertex n, std::size_t m, WeightModel w = {},
+                             Rng rng = Rng(8));
+
+/// Random geometric graph: n points in the unit square, edges between
+/// points within `radius`, weight = Euclidean distance (scaled so the
+/// minimum weight is ≥ `w.lo`); connected via a fallback spanning chain of
+/// nearest neighbours.
+[[nodiscard]] Graph make_geometric(Vertex n, double radius, Rng rng = Rng(9));
+
+/// Caterpillar: a weighted spine of length `spine` with `legs` unit legs
+/// per spine vertex.  Spine weights ≫ leg weights make SPD large while m/n
+/// stays constant — the adversarial family for experiment E1/E4.
+[[nodiscard]] Graph make_caterpillar(Vertex spine, Vertex legs,
+                                     Weight spine_weight = 1.0,
+                                     Weight leg_weight = 1.0);
+
+/// Path of `cliques` cliques of size `clique_size`, consecutive cliques
+/// joined by a bridge edge; large SPD with high edge density (E8).
+[[nodiscard]] Graph make_clique_chain(Vertex cliques, Vertex clique_size,
+                                      WeightModel w = {}, Rng rng = Rng(10));
+
+/// Complete graph realising a given metric (distance matrix row-major,
+/// n × n).  The Blelloch et al. input model: SPD = 1.
+[[nodiscard]] Graph make_from_metric(Vertex n,
+                                     const std::vector<Weight>& dist);
+
+/// Dumbbell: two cliques of size k joined by a path of length `bridge`.
+[[nodiscard]] Graph make_dumbbell(Vertex k, Vertex bridge, WeightModel w = {},
+                                  Rng rng = Rng(11));
+
+/// Near-`degree`-regular expander-style graph: the union of degree/2
+/// random Hamiltonian cycles (connected by construction; coinciding cycle
+/// edges merge, so degrees can dip slightly below `degree`).  Expanders
+/// realise the Ω(log n) lower bound for tree-embedding stretch [7].
+/// `degree` must be even and ≥ 2.
+[[nodiscard]] Graph make_random_regular(Vertex n, unsigned degree,
+                                        WeightModel w = {},
+                                        Rng rng = Rng(12));
+
+}  // namespace pmte

@@ -1,0 +1,95 @@
+#include "src/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+Graph Graph::from_edges(Vertex n, std::vector<WeightedEdge> edges) {
+  // Normalise: u < v, drop loops, validate weights.
+  std::vector<WeightedEdge> clean;
+  clean.reserve(edges.size());
+  for (auto e : edges) {
+    PMTE_CHECK(e.u < n && e.v < n, "edge endpoint out of range");
+    PMTE_CHECK(is_finite(e.weight) && e.weight > 0.0,
+               "edge weights must be positive and finite");
+    if (e.u == e.v) continue;  // the paper's graphs are loop-free
+    if (e.u > e.v) std::swap(e.u, e.v);
+    clean.push_back(e);
+  }
+  std::sort(clean.begin(), clean.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.u, a.v, a.weight) < std::tie(b.u, b.v, b.weight);
+  });
+  // Merge parallel edges, keeping the lightest (min-plus semantics).
+  std::vector<WeightedEdge> merged;
+  merged.reserve(clean.size());
+  for (const auto& e : clean) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().weight = std::min(merged.back().weight, e.weight);
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : merged) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+  g.targets_.resize(merged.size() * 2);
+  g.edges_.resize(merged.size() * 2);
+  std::vector<EdgeIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : merged) {
+    g.edges_[cursor[e.u]] = HalfEdge{e.v, e.weight};
+    g.targets_[cursor[e.u]++] = e.v;
+    g.edges_[cursor[e.v]] = HalfEdge{e.u, e.weight};
+    g.targets_[cursor[e.v]++] = e.u;
+    g.min_w_ = std::min(g.min_w_, e.weight);
+    g.max_w_ = std::max(g.max_w_, e.weight);
+    g.total_w_ += e.weight;
+  }
+  // Per-vertex adjacency comes out sorted because `merged` is sorted by
+  // (u, v) and the reverse half-edges are appended in increasing u as well.
+  for (Vertex v = 0; v < n; ++v) {
+    auto* first = g.edges_.data() + g.offsets_[v];
+    auto* last = g.edges_.data() + g.offsets_[v + 1];
+    std::sort(first, last,
+              [](const HalfEdge& a, const HalfEdge& b) { return a.to < b.to; });
+    for (EdgeIndex i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i)
+      g.targets_[i] = g.edges_[i].to;
+  }
+  return g;
+}
+
+Weight Graph::edge_weight(Vertex u, Vertex v) const noexcept {
+  if (u == v) return 0.0;
+  const auto nb = neighbors(u);
+  const auto it = std::lower_bound(
+      nb.begin(), nb.end(), v,
+      [](const HalfEdge& e, Vertex target) { return e.to < target; });
+  if (it != nb.end() && it->to == v) return it->weight;
+  return inf_weight();
+}
+
+std::vector<WeightedEdge> Graph::edge_list() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(num_edges());
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    for (const auto& e : neighbors(v)) {
+      if (v < e.to) out.push_back(WeightedEdge{v, e.to, e.weight});
+    }
+  }
+  return out;
+}
+
+Graph Graph::augmented(const std::vector<WeightedEdge>& extra) const {
+  auto edges = edge_list();
+  edges.insert(edges.end(), extra.begin(), extra.end());
+  return from_edges(num_vertices(), std::move(edges));
+}
+
+}  // namespace pmte

@@ -1,0 +1,89 @@
+#pragma once
+// Weighted undirected graph in compressed-sparse-row (CSR) form.
+//
+// Matches the paper's setting (Section 1.2): simple undirected graphs
+// G = (V, E, ω) with positive edge weights, no loops or parallel edges,
+// given as adjacency lists.  The CSR arrays are immutable after
+// construction; augmentation (e.g. adding hop-set edges) builds a new Graph.
+
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace pmte {
+
+/// Half-edge: target vertex and weight. Each undirected edge {u,v} is stored
+/// twice (u→v and v→u).
+struct HalfEdge {
+  Vertex to;
+  Weight weight;
+
+  friend bool operator==(const HalfEdge&, const HalfEdge&) = default;
+};
+
+/// One undirected edge with both endpoints, used by builders and generators.
+struct WeightedEdge {
+  Vertex u;
+  Vertex v;
+  Weight weight;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an undirected edge list.  Self-loops are rejected; parallel
+  /// edges are merged keeping the minimum weight.  Weights must be positive
+  /// and finite.
+  static Graph from_edges(Vertex n, std::vector<WeightedEdge> edges);
+
+  [[nodiscard]] Vertex num_vertices() const noexcept {
+    return static_cast<Vertex>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return targets_.size() / 2;
+  }
+
+  [[nodiscard]] std::size_t degree(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbours of v as (target, weight) pairs, sorted by target id.
+  [[nodiscard]] std::span<const HalfEdge> neighbors(Vertex v) const noexcept {
+    return {edges_.data() + offsets_[v], edges_.data() + offsets_[v + 1]};
+  }
+
+  /// Weight of edge {u,v}; inf_weight() if absent, 0 if u == v.
+  [[nodiscard]] Weight edge_weight(Vertex u, Vertex v) const noexcept;
+
+  /// Smallest / largest edge weight (inf / 0 for edgeless graphs).
+  [[nodiscard]] Weight min_edge_weight() const noexcept { return min_w_; }
+  [[nodiscard]] Weight max_edge_weight() const noexcept { return max_w_; }
+
+  /// Sum of all edge weights — a trivial upper bound on any distance in a
+  /// connected graph.
+  [[nodiscard]] Weight total_weight() const noexcept { return total_w_; }
+
+  /// Recover the undirected edge list (u < v in every entry).
+  [[nodiscard]] std::vector<WeightedEdge> edge_list() const;
+
+  /// New graph with `extra` undirected edges merged in (minimum weight wins
+  /// for duplicates).
+  [[nodiscard]] Graph augmented(const std::vector<WeightedEdge>& extra) const;
+
+ private:
+  std::vector<EdgeIndex> offsets_;  // size n+1
+  std::vector<Vertex> targets_;     // size 2m (kept for cheap edge iteration)
+  std::vector<HalfEdge> edges_;     // size 2m, sorted per vertex
+  Weight min_w_ = inf_weight();
+  Weight max_w_ = 0.0;
+  Weight total_w_ = 0.0;
+};
+
+}  // namespace pmte

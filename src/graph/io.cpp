@@ -1,0 +1,87 @@
+#include "src/graph/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+namespace {
+
+std::string format_weight(Weight w) {
+  // Shortest decimal that round-trips a double.
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), w);
+  PMTE_CHECK(ec == std::errc(), "weight formatting failed");
+  return {buf, ptr};
+}
+
+}  // namespace
+
+void write_dimacs(const Graph& g, std::ostream& os) {
+  os << "c pmte graph\n";
+  os << "p sp " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edge_list()) {
+    os << "e " << (e.u + 1) << ' ' << (e.v + 1) << ' '
+       << format_weight(e.weight) << '\n';
+  }
+}
+
+Graph read_dimacs(std::istream& is) {
+  std::string line;
+  Vertex n = 0;
+  std::size_t m = 0;
+  bool have_header = false;
+  std::vector<WeightedEdge> edges;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "p") {
+      std::string kind;
+      ls >> kind >> n >> m;
+      PMTE_CHECK(ls && kind == "sp",
+                 "bad problem line at line " + std::to_string(line_no));
+      have_header = true;
+      edges.reserve(m);
+    } else if (tag == "e") {
+      PMTE_CHECK(have_header, "edge before problem line");
+      std::uint64_t u = 0, v = 0;
+      Weight w = 0;
+      ls >> u >> v >> w;
+      PMTE_CHECK(ls && u >= 1 && v >= 1 && u <= n && v <= n,
+                 "bad edge line at line " + std::to_string(line_no));
+      edges.push_back(WeightedEdge{static_cast<Vertex>(u - 1),
+                                   static_cast<Vertex>(v - 1), w});
+    } else {
+      PMTE_CHECK(false, "unknown line tag '" + tag + "' at line " +
+                            std::to_string(line_no));
+    }
+  }
+  PMTE_CHECK(have_header, "missing problem line");
+  PMTE_CHECK(edges.size() == m, "edge count does not match header");
+  return Graph::from_edges(n, std::move(edges));
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  PMTE_CHECK(os.good(), "cannot open " + path + " for writing");
+  write_dimacs(g, os);
+  PMTE_CHECK(os.good(), "write to " + path + " failed");
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  PMTE_CHECK(is.good(), "cannot open " + path);
+  return read_dimacs(is);
+}
+
+}  // namespace pmte

@@ -1,0 +1,24 @@
+#pragma once
+// Graph serialisation: a DIMACS-shortest-path-like text format
+// ("p sp <n> <m>" header, "e <u> <v> <w>" edge lines, 1-based ids) plus a
+// compact whitespace edge-list format.  Round-trips exactly via decimal
+// shortest round-trip formatting.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.hpp"
+
+namespace pmte {
+
+/// Write g in DIMACS-like format.
+void write_dimacs(const Graph& g, std::ostream& os);
+
+/// Parse a DIMACS-like graph; throws std::logic_error on malformed input.
+[[nodiscard]] Graph read_dimacs(std::istream& is);
+
+/// Convenience file helpers.
+void save_graph(const Graph& g, const std::string& path);
+[[nodiscard]] Graph load_graph(const std::string& path);
+
+}  // namespace pmte

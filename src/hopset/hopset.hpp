@@ -1,0 +1,68 @@
+#pragma once
+// (d, ε̂)-hop sets (Equation (1.3)).
+//
+// A hop set for G is a set of extra weighted edges E' such that in
+// G' = G + E' every distance is (1+ε̂)-approximated by a d-hop path:
+//     dist^d(v, w, G') ≤ (1 + ε̂) · dist(v, w, G)   for all v, w.
+//
+// The paper uses Cohen's construction [13] as a black box.  We substitute
+// the *hub hop set* (see DESIGN.md §3): sample each vertex as a hub with
+// probability min(1, c·ln n / d0), connect all hub pairs by shortcut edges
+// carrying exact distances (computed by parallel Dijkstras).  W.h.p. every
+// min-hop shortest path visits a hub within any window of d0 consecutive
+// vertices, hence d = 2·d0 hops suffice and ε̂ = 0.  Trade-off relative to
+// Cohen: to keep the shortcut clique near-linear one chooses
+// d0 ≈ √(n·ln n), i.e. d ∈ Θ̃(√n) instead of polylog — everything
+// downstream (Sections 4–7) is agnostic to this, as the paper notes.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace pmte {
+
+/// A constructed hop set: the extra edges plus its certified parameters.
+struct HopSet {
+  std::vector<WeightedEdge> edges;  ///< shortcut edges to add to G
+  unsigned d = 1;                   ///< certified hop bound
+  double epsilon = 0.0;             ///< certified stretch slack ε̂
+  std::size_t num_hubs = 0;
+  std::string method;
+
+  /// G' = G + E'.
+  [[nodiscard]] Graph apply(const Graph& g) const { return g.augmented(edges); }
+};
+
+struct HubHopSetParams {
+  /// Hitting-window length d0; 0 → auto ⌈√(n·ln n)⌉ (near-linear clique).
+  unsigned window = 0;
+  /// Oversampling constant c in the hub probability c·ln(n)/d0.
+  double sampling_constant = 2.0;
+  /// Hard cap on the number of hubs (0 = none); guards against parameter
+  /// choices that would produce a quadratic shortcut clique.
+  std::size_t max_hubs = 0;
+};
+
+/// Build a hub hop set for connected G.  ε̂ = 0, d = 2·window (w.h.p.).
+[[nodiscard]] HopSet build_hub_hopset(const Graph& g, HubHopSetParams params,
+                                      Rng& rng);
+
+/// Exhaustive exact hop set: an edge per connected vertex pair (full APSP),
+/// making d = 1, ε̂ = 0.  Θ(n²) size — test/baseline use only.
+[[nodiscard]] HopSet build_exact_hopset(const Graph& g);
+
+/// The empty hop set: d = n−1, ε̂ = 0 (G itself).  Baseline.
+[[nodiscard]] HopSet build_trivial_hopset(const Graph& g);
+
+/// Empirical validation of (1.3): returns the maximum over sampled vertex
+/// pairs of dist^d(v,w,G') / dist(v,w,G).  Values ≤ 1+ε̂ certify the hop
+/// set on the sample; exact when sample_sources == n.
+[[nodiscard]] double measure_hopset_stretch(const Graph& g,
+                                            const HopSet& hopset,
+                                            std::size_t sample_sources,
+                                            Rng& rng);
+
+}  // namespace pmte

@@ -1,0 +1,155 @@
+#include "src/mbf/algorithms.hpp"
+
+#include <algorithm>
+
+#include "src/mbf/algebras.hpp"
+#include "src/mbf/engine.hpp"
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+namespace {
+
+unsigned clamp_hops(const Graph& g, unsigned hops) {
+  const unsigned fix = g.num_vertices() == 0 ? 0 : g.num_vertices() - 1;
+  return std::min(hops, std::max(fix, 1U));
+}
+
+}  // namespace
+
+std::vector<Weight> mbf_sssp(const Graph& g, Vertex source, unsigned hops) {
+  PMTE_CHECK(source < g.num_vertices(), "mbf_sssp: source out of range");
+  ScalarDistanceAlgebra alg;
+  std::vector<Weight> x0(g.num_vertices(), inf_weight());
+  x0[source] = 0.0;
+  auto run = mbf_run(g, alg, std::move(x0), clamp_hops(g, hops));
+  return run.states;
+}
+
+std::vector<DistanceMap> mbf_source_detection(const Graph& g,
+                                              std::span<const Vertex> sources,
+                                              unsigned hops, std::size_t k,
+                                              Weight max_dist) {
+  SourceDetectionAlgebra alg{.k = k, .max_dist = max_dist};
+  std::vector<DistanceMap> x0(g.num_vertices());
+  for (Vertex s : sources) {
+    PMTE_CHECK(s < g.num_vertices(), "source out of range");
+    x0[s] = DistanceMap::singleton(s, 0.0);
+  }
+  auto run = mbf_run(g, alg, std::move(x0), clamp_hops(g, hops));
+  return run.states;
+}
+
+std::vector<DistanceMap> mbf_kssp(const Graph& g, std::size_t k,
+                                  unsigned hops) {
+  std::vector<Vertex> all(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  return mbf_source_detection(g, all, hops, k);
+}
+
+std::vector<Weight> mbf_apsp(const Graph& g, unsigned hops) {
+  const Vertex n = g.num_vertices();
+  auto maps = mbf_kssp(g, static_cast<std::size_t>(-1), hops);
+  std::vector<Weight> dist(static_cast<std::size_t>(n) * n, inf_weight());
+  for (Vertex v = 0; v < n; ++v) {
+    for (const auto& e : maps[v].entries()) {
+      dist[static_cast<std::size_t>(v) * n + e.key] = e.dist;
+    }
+  }
+  return dist;
+}
+
+ForestFire mbf_forest_fire(const Graph& g, std::span<const Vertex> burning,
+                           Weight d) {
+  ScalarDistanceAlgebra alg{.cap = d};
+  std::vector<Weight> x0(g.num_vertices(), inf_weight());
+  for (Vertex v : burning) {
+    PMTE_CHECK(v < g.num_vertices(), "burning vertex out of range");
+    x0[v] = 0.0;
+  }
+  auto run = mbf_run(g, alg, std::move(x0), clamp_hops(g, ~0U));
+  ForestFire out;
+  out.dist = std::move(run.states);
+  out.alarmed.resize(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    out.alarmed[v] = is_finite(out.dist[v]);
+  return out;
+}
+
+namespace {
+
+/// Scalar widest-path algebra: M = Smax,min over itself (Example 3.13).
+struct ScalarWidthAlgebra {
+  using State = Weight;
+  [[nodiscard]] State bottom() const { return 0.0; }
+  void relax(State& acc, Weight w, Vertex, Vertex, const State& x) const {
+    acc = MaxMin::plus(acc, MaxMin::times(w, x));
+  }
+  void filter(State&) const {}
+  [[nodiscard]] bool equal(const State& a, const State& b) const {
+    return a == b;
+  }
+};
+
+}  // namespace
+
+std::vector<Weight> mbf_sswp(const Graph& g, Vertex source, unsigned hops) {
+  PMTE_CHECK(source < g.num_vertices(), "mbf_sswp: source out of range");
+  ScalarWidthAlgebra alg;
+  std::vector<Weight> x0(g.num_vertices(), 0.0);
+  x0[source] = inf_weight();  // width of the trivial path (3.10)
+  auto run = mbf_run(g, alg, std::move(x0), clamp_hops(g, hops));
+  return run.states;
+}
+
+std::vector<WidthMap> mbf_mswp(const Graph& g, std::span<const Vertex> sources,
+                               unsigned hops) {
+  WidestPathAlgebra alg;
+  std::vector<WidthMap> x0(g.num_vertices());
+  for (Vertex s : sources) {
+    PMTE_CHECK(s < g.num_vertices(), "source out of range");
+    x0[s] = WidthMap::singleton(s, inf_weight());
+  }
+  auto run = mbf_run(g, alg, std::move(x0), clamp_hops(g, hops));
+  return run.states;
+}
+
+std::vector<Weight> mbf_apwp(const Graph& g, unsigned hops) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> all(n);
+  for (Vertex v = 0; v < n; ++v) all[v] = v;
+  auto maps = mbf_mswp(g, all, hops);
+  std::vector<Weight> width(static_cast<std::size_t>(n) * n, 0.0);
+  for (Vertex v = 0; v < n; ++v) {
+    for (const auto& e : maps[v].entries())
+      width[static_cast<std::size_t>(v) * n + e.key] = e.width;
+  }
+  return width;
+}
+
+std::vector<PathSet> mbf_ksdp(const Graph& g, Vertex target, std::size_t k,
+                              unsigned hops, bool distinct_weights) {
+  PMTE_CHECK(target < g.num_vertices(), "mbf_ksdp: target out of range");
+  KsdpAlgebra alg{.target = target, .k = k, .distinct_weights = distinct_weights};
+  std::vector<PathSet> x0;
+  x0.reserve(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    x0.push_back(PathSet::single(VertexPath{{v}}, 0.0));  // (3.19)
+  }
+  auto run = mbf_run(g, alg, std::move(x0), clamp_hops(g, hops));
+  return run.states;
+}
+
+std::vector<std::vector<Vertex>> mbf_reachability(
+    const Graph& g, std::span<const Vertex> sources, unsigned hops) {
+  ReachabilityAlgebra alg;
+  std::vector<std::vector<Vertex>> x0(g.num_vertices());
+  for (Vertex s : sources) {
+    PMTE_CHECK(s < g.num_vertices(), "source out of range");
+    x0[s] = {s};
+  }
+  auto run = mbf_run(g, alg, std::move(x0), clamp_hops(g, hops));
+  return run.states;
+}
+
+}  // namespace pmte

@@ -1,0 +1,73 @@
+#pragma once
+// User-facing wrappers for the MBF-like algorithm collection of Section 3.
+// Each function assembles (algebra, x⁽⁰⁾, h) per the corresponding example
+// and runs the generic engine.  They double as reference users of the
+// public API and as test subjects against classical baselines.
+
+#include <span>
+#include <vector>
+
+#include "src/algebra/distance_map.hpp"
+#include "src/algebra/path_set.hpp"
+#include "src/algebra/width_map.hpp"
+#include "src/graph/graph.hpp"
+
+namespace pmte {
+
+/// SSSP (Example 3.3): h-hop distances dist^h(source, ·, G).
+/// h defaults to n−1 (the fixpoint, i.e. exact distances).
+[[nodiscard]] std::vector<Weight> mbf_sssp(const Graph& g, Vertex source,
+                                           unsigned hops = ~0U);
+
+/// Source detection (Example 3.2): for every vertex the k smallest
+/// (dist^h(v,s), s) with s ∈ sources and dist ≤ max_dist.
+/// Keys of the returned maps are source vertex ids.
+[[nodiscard]] std::vector<DistanceMap> mbf_source_detection(
+    const Graph& g, std::span<const Vertex> sources, unsigned hops,
+    std::size_t k, Weight max_dist = inf_weight());
+
+/// k-SSP (Example 3.4): the k closest vertices for every vertex.
+[[nodiscard]] std::vector<DistanceMap> mbf_kssp(const Graph& g, std::size_t k,
+                                                unsigned hops = ~0U);
+
+/// APSP (Example 3.5): n×n row-major h-hop distance matrix.
+[[nodiscard]] std::vector<Weight> mbf_apsp(const Graph& g,
+                                           unsigned hops = ~0U);
+
+/// Forest fire (Example 3.7): which vertices are within distance d of a
+/// burning vertex, via the anonymous scalar semimodule.
+struct ForestFire {
+  std::vector<bool> alarmed;
+  std::vector<Weight> dist;  ///< distance to the nearest fire (∞ if > d)
+};
+[[nodiscard]] ForestFire mbf_forest_fire(const Graph& g,
+                                         std::span<const Vertex> burning,
+                                         Weight d);
+
+/// SSWP (Example 3.13): h-hop widest-path widths from `source`.
+[[nodiscard]] std::vector<Weight> mbf_sswp(const Graph& g, Vertex source,
+                                           unsigned hops = ~0U);
+
+/// APWP (Example 3.14): n×n row-major h-hop widest-path matrix,
+/// width^h(v,w,G); diagonal ∞ by convention (3.10).
+[[nodiscard]] std::vector<Weight> mbf_apwp(const Graph& g,
+                                           unsigned hops = ~0U);
+
+/// MSWP (Example 3.15): widest-path widths to each source.
+[[nodiscard]] std::vector<WidthMap> mbf_mswp(const Graph& g,
+                                             std::span<const Vertex> sources,
+                                             unsigned hops = ~0U);
+
+/// k-SDP / k-DSDP (Examples 3.23/3.24): per vertex the k (distinct-)shortest
+/// v→target paths with weights.
+[[nodiscard]] std::vector<PathSet> mbf_ksdp(const Graph& g, Vertex target,
+                                            std::size_t k,
+                                            unsigned hops = ~0U,
+                                            bool distinct_weights = false);
+
+/// h-hop connectivity (Example 3.25): per vertex the set of `sources`
+/// reachable within h hops.  Works on disconnected graphs.
+[[nodiscard]] std::vector<std::vector<Vertex>> mbf_reachability(
+    const Graph& g, std::span<const Vertex> sources, unsigned hops);
+
+}  // namespace pmte

@@ -1,0 +1,119 @@
+#pragma once
+// The generic MBF-like iteration engine (Definition 2.11).
+//
+// An MBF-like algorithm is (semimodule M over semiring S, representative
+// projection r, initial vector x⁽⁰⁾); h iterations compute
+//     A^h(G) = r^V A^h x⁽⁰⁾  =  (r^V A)^h x⁽⁰⁾        (Corollary 2.17),
+// i.e. per iteration every vertex *propagates* its state along incident
+// edges, *aggregates* incoming states, and *filters* the result.
+//
+// The engine is templated over an Algebra policy:
+//
+//   struct Algebra {
+//     using State = …;                       // an element of M
+//     State bottom() const;                  // ⊥
+//     // acc ⊕= a_{to,from} ⊙ x_from   for the edge {from,to} of weight w
+//     void relax(State& acc, Weight w, Vertex from, Vertex to,
+//                const State& x_from) const;
+//     void filter(State& x) const;           // representative projection r
+//     bool equal(const State&, const State&) const;  // for fixpoint tests
+//   };
+//
+// The iteration is *pull-based*: vertex v starts from its own previous
+// state (the adjacency diagonal is the semiring one, and 1 ⊙ x = x by
+// (2.1)) and relaxes over incident edges.  Pulls write only to out[v], so
+// the loop parallelises without synchronisation — this is the map of the
+// paper's depth-O(1)-per-iteration propagate/aggregate phases onto OpenMP.
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/parallel/counters.hpp"
+#include "src/parallel/parallel.hpp"
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+template <typename A>
+concept MbfAlgebra = requires(const A& alg, typename A::State& acc,
+                              const typename A::State& x, Weight w, Vertex u,
+                              Vertex v) {
+  { alg.bottom() } -> std::same_as<typename A::State>;
+  { alg.relax(acc, w, u, v, x) };
+  { alg.filter(acc) };
+  { alg.equal(x, x) } -> std::convertible_to<bool>;
+};
+
+/// One MBF-like iteration x ↦ r^V(A x); `weight_scale` numerically scales
+/// edge weights before they enter the semiring — this realises the
+/// stretched matrices A_λ = (1+ε̂)^{Λ−λ} · A_G of Lemma 5.1.  With
+/// `apply_filter == false` the raw product A x is returned (the framework
+/// guarantees both variants are ~-equivalent, Corollary 2.17).
+template <MbfAlgebra Algebra>
+[[nodiscard]] std::vector<typename Algebra::State> mbf_step(
+    const Graph& g, const Algebra& alg,
+    const std::vector<typename Algebra::State>& x, double weight_scale = 1.0,
+    bool apply_filter = true) {
+  using State = typename Algebra::State;
+  const Vertex n = g.num_vertices();
+  PMTE_CHECK(x.size() == n, "mbf_step: state vector size mismatch");
+  std::vector<State> out(n);
+  parallel_for(n, [&](std::size_t vi) {
+    const auto v = static_cast<Vertex>(vi);
+    State acc = x[vi];  // diagonal: 1 ⊙ x_v = x_v   (2.1)
+    for (const auto& e : g.neighbors(v)) {
+      alg.relax(acc, e.weight * weight_scale, e.to, v, x[e.to]);
+    }
+    if (apply_filter) alg.filter(acc);
+    out[vi] = std::move(acc);
+  });
+  WorkDepth::add_depth(1);
+  return out;
+}
+
+/// Apply the filter r^V to every component in parallel.
+template <MbfAlgebra Algebra>
+void mbf_filter(const Algebra& alg,
+                std::vector<typename Algebra::State>& x) {
+  parallel_for(x.size(), [&](std::size_t v) { alg.filter(x[v]); });
+  WorkDepth::add_depth(1);
+}
+
+/// Result of running an MBF-like algorithm to fixpoint / iteration budget.
+template <typename State>
+struct MbfRun {
+  std::vector<State> states;
+  unsigned iterations = 0;    ///< iterations actually executed
+  bool reached_fixpoint = false;
+};
+
+/// Run up to `max_iterations` MBF-like iterations, stopping early at the
+/// filtered fixpoint x⁽ⁱ⁺¹⁾ = x⁽ⁱ⁾ (reached after ≤ SPD(G) iterations,
+/// Definition 2.11).
+template <MbfAlgebra Algebra>
+[[nodiscard]] MbfRun<typename Algebra::State> mbf_run(
+    const Graph& g, const Algebra& alg,
+    std::vector<typename Algebra::State> x0, unsigned max_iterations,
+    double weight_scale = 1.0) {
+  MbfRun<typename Algebra::State> run;
+  mbf_filter(alg, x0);  // r^V x⁽⁰⁾ — harmless by Corollary 2.17
+  run.states = std::move(x0);
+  for (unsigned i = 0; i < max_iterations; ++i) {
+    auto next = mbf_step(g, alg, run.states, weight_scale, /*filter=*/true);
+    ++run.iterations;
+    bool same = true;
+    for (Vertex v = 0; v < g.num_vertices() && same; ++v) {
+      same = alg.equal(next[v], run.states[v]);
+    }
+    run.states = std::move(next);
+    if (same) {
+      run.reached_fixpoint = true;
+      break;
+    }
+  }
+  return run;
+}
+
+}  // namespace pmte

@@ -1,0 +1,24 @@
+#pragma once
+// APSP via the distance product (Section 1.1): squaring the min-plus
+// adjacency matrix ⌈log₂ SPD(G)⌉ times reaches the distance fixpoint with
+// polylogarithmic depth and Θ(n³ log n) work — the classical algebraic
+// baseline the paper's oracle pipeline undercuts on sparse graphs.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace pmte {
+
+struct MatrixApspResult {
+  std::vector<Weight> dist;  ///< row-major n×n exact distances
+  unsigned squarings = 0;    ///< matrix multiplications performed
+  double seconds = 0.0;
+};
+
+/// Exact APSP by repeated squaring of the min-plus adjacency matrix.
+/// Stops early at the fixpoint A² = A (i.e. after ⌈log₂ SPD(G)⌉ rounds).
+[[nodiscard]] MatrixApspResult matrix_apsp(const Graph& g);
+
+}  // namespace pmte

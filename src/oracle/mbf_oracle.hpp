@@ -1,0 +1,118 @@
+#pragma once
+// The oracle for MBF-like queries on the simulated graph H (Section 5).
+//
+// H is complete, so one true iteration A_H x would cost Ω(n²).  Lemma 5.1
+// rewrites the adjacency matrix as
+//     A_H = ⊕_{λ=0}^{Λ} P_λ A_λ^d P_λ,
+// with A_λ = (1+ε̂)^{Λ−λ}·A_{G'} and P_λ the projection onto vertices of
+// level ≥ λ.  Because filtering is congruent (Corollary 2.17), the oracle
+// evaluates the ~-equivalent
+//     (r^V ⊕_λ P_λ (r^V A_λ)^d P_λ)^h r^V x⁽⁰⁾            (Equation 5.9)
+// using only the edges of G' — d·(Λ+1) cheap iterations per H-iteration,
+// with intermediate filtering keeping every state small (Theorem 5.2).
+//
+// The oracle works for any algebra that additionally exposes an aggregation
+// of two states (the module ⊕, needed to sum the per-level partials).
+
+#include <concepts>
+#include <vector>
+
+#include "src/mbf/engine.hpp"
+#include "src/simgraph/simulated_graph.hpp"
+
+namespace pmte {
+
+template <typename A>
+concept OracleAlgebra =
+    MbfAlgebra<A> && requires(const A& alg, typename A::State& acc,
+                              const typename A::State& y) {
+      { alg.aggregate(acc, y) };  // acc ⊕= y in the semimodule
+    };
+
+/// Statistics of an oracle run (depth/work proxies for Theorem 5.2).
+struct OracleStats {
+  unsigned h_iterations = 0;       ///< iterations on H
+  unsigned base_iterations = 0;    ///< MBF iterations executed on G'
+  bool reached_fixpoint = false;
+};
+
+/// One simulated H-iteration:  x ↦ r^V ⊕_λ P_λ (r^V A_λ)^d P_λ x.
+template <OracleAlgebra Algebra>
+[[nodiscard]] std::vector<typename Algebra::State> oracle_step(
+    const SimulatedGraph& h, const Algebra& alg,
+    const std::vector<typename Algebra::State>& x,
+    unsigned* base_iterations = nullptr) {
+  using State = typename Algebra::State;
+  const Graph& gp = h.base();
+  const Vertex n = gp.num_vertices();
+  PMTE_CHECK(x.size() == n, "oracle_step: state size mismatch");
+
+  auto project = [&](std::vector<State>& y, unsigned lambda) {
+    // P_λ: discard entries at vertices below level λ (Equation (5.2)).
+    parallel_for(y.size(), [&](std::size_t v) {
+      if (h.levels().level(static_cast<Vertex>(v)) < lambda) {
+        y[v] = alg.bottom();
+      }
+    });
+  };
+
+  std::vector<State> acc(n);
+  parallel_for(n, [&](std::size_t v) { acc[v] = alg.bottom(); });
+
+  for (unsigned lambda = 0; lambda <= h.max_level(); ++lambda) {
+    std::vector<State> y = x;
+    project(y, lambda);
+    const double scale = h.level_scale(lambda);
+    for (unsigned step = 0; step < h.hop_bound(); ++step) {
+      auto next = mbf_step(gp, alg, y, scale, /*filter=*/true);
+      if (base_iterations != nullptr) ++*base_iterations;
+      // Early exit at the per-level fixpoint: r^V A_λ is idempotent once
+      // the states stop changing, so the remaining d − step applications
+      // are no-ops.  With hub hop sets the fixpoint typically arrives
+      // after a handful of iterations although d ∈ Θ(√n).
+      bool same = true;
+      for (Vertex v = 0; v < n && same; ++v) same = alg.equal(next[v], y[v]);
+      y = std::move(next);
+      if (same) break;
+    }
+    project(y, lambda);
+    parallel_for(n, [&](std::size_t v) { alg.aggregate(acc[v], y[v]); });
+  }
+  mbf_filter(alg, acc);
+  return acc;
+}
+
+/// Run the MBF-like algorithm `alg` on H until its filtered fixpoint
+/// (≤ SPD(H) ∈ O(log² n) iterations w.h.p., Theorem 4.5) or until
+/// `max_h_iterations`.
+template <OracleAlgebra Algebra>
+[[nodiscard]] MbfRun<typename Algebra::State> oracle_run(
+    const SimulatedGraph& h, const Algebra& alg,
+    std::vector<typename Algebra::State> x0, unsigned max_h_iterations,
+    OracleStats* stats = nullptr) {
+  MbfRun<typename Algebra::State> run;
+  mbf_filter(alg, x0);  // r^V x⁽⁰⁾
+  run.states = std::move(x0);
+  unsigned base_iters = 0;
+  for (unsigned i = 0; i < max_h_iterations; ++i) {
+    auto next = oracle_step(h, alg, run.states, &base_iters);
+    ++run.iterations;
+    bool same = true;
+    for (Vertex v = 0; v < h.num_vertices() && same; ++v) {
+      same = alg.equal(next[v], run.states[v]);
+    }
+    run.states = std::move(next);
+    if (same) {
+      run.reached_fixpoint = true;
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->h_iterations = run.iterations;
+    stats->base_iterations = base_iters;
+    stats->reached_fixpoint = run.reached_fixpoint;
+  }
+  return run;
+}
+
+}  // namespace pmte

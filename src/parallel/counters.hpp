@@ -1,0 +1,73 @@
+#pragma once
+// Work/depth instrumentation.
+//
+// The paper's cost model (Section 1.2, "Model of Computation") counts the
+// nodes of the computation DAG as *work* and its longest path as *depth*.
+// We approximate: every semiring/semimodule element operation increments a
+// work counter, and each global sequential phase (one MBF-like iteration,
+// one sort pass, …) increments a depth counter.  Counters are per-thread to
+// avoid contention and merged on read.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "src/parallel/parallel.hpp"
+
+namespace pmte {
+
+/// Global work/depth counters.  Work adds are cheap (per-thread cache line);
+/// depth adds happen outside parallel regions.
+class WorkDepth {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  /// Record `n` units of work on the calling thread.
+  static void add_work(std::uint64_t n) noexcept {
+    slots_[static_cast<std::size_t>(thread_index()) % kMaxThreads].value +=
+        n;
+  }
+
+  /// Record `n` units of sequential depth (call outside parallel regions).
+  static void add_depth(std::uint64_t n) noexcept { depth_ += n; }
+
+  static void reset() noexcept {
+    for (auto& s : slots_) s.value = 0;
+    depth_ = 0;
+  }
+
+  [[nodiscard]] static std::uint64_t work() noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) total += s.value;
+    return total;
+  }
+
+  [[nodiscard]] static std::uint64_t depth() noexcept { return depth_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::uint64_t value;  // zero-initialised via the array's {}
+  };
+  static inline std::array<Slot, kMaxThreads> slots_ = {};
+  static inline std::atomic<std::uint64_t> depth_{0};
+};
+
+/// RAII scope that snapshots work/depth and reports the delta.
+class WorkDepthScope {
+ public:
+  WorkDepthScope() noexcept
+      : work0_(WorkDepth::work()), depth0_(WorkDepth::depth()) {}
+
+  [[nodiscard]] std::uint64_t work_delta() const noexcept {
+    return WorkDepth::work() - work0_;
+  }
+  [[nodiscard]] std::uint64_t depth_delta() const noexcept {
+    return WorkDepth::depth() - depth0_;
+  }
+
+ private:
+  std::uint64_t work0_;
+  std::uint64_t depth0_;
+};
+
+}  // namespace pmte

@@ -1,0 +1,91 @@
+#pragma once
+// OpenMP helpers.
+//
+// The paper analyses algorithms in an abstract work/depth model; we realise
+// the data parallelism with OpenMP.  All parallel loops in the library go
+// through parallel_for / parallel_reduce so that thread counts can be
+// controlled centrally (PMTE benches sweep threads for the scaling
+// experiment E11).
+
+#include <cstddef>
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace pmte {
+
+/// Number of threads OpenMP will use for parallel regions.
+[[nodiscard]] inline int num_threads() noexcept {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Set the number of OpenMP threads (global).
+inline void set_num_threads(int n) noexcept {
+#ifdef _OPENMP
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// Index of the calling thread inside a parallel region (0 outside).
+[[nodiscard]] inline int thread_index() noexcept {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Parallel loop over [0, n) with dynamic scheduling; body(i) must be
+/// independent across iterations (no shared writes without synchronisation).
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body, std::size_t grain = 64) {
+#ifdef _OPENMP
+  if (n >= 2 * grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel for schedule(dynamic, static_cast<long>(grain))
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      body(static_cast<std::size_t>(i));
+    }
+    return;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+/// Parallel sum-reduction of body(i) over [0, n).
+template <typename Body>
+double parallel_reduce_sum(std::size_t n, Body&& body) {
+  double total = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for reduction(+ : total) schedule(static)
+#endif
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    total += body(static_cast<std::size_t>(i));
+  }
+  return total;
+}
+
+/// Parallel max-reduction of body(i) over [0, n).
+template <typename Body>
+double parallel_reduce_max(std::size_t n, Body&& body, double init = 0.0) {
+  double best = init;
+#ifdef _OPENMP
+#pragma omp parallel for reduction(max : best) schedule(static)
+#endif
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    const double v = body(static_cast<std::size_t>(i));
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+}  // namespace pmte

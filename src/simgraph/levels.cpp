@@ -1,0 +1,52 @@
+#include "src/simgraph/levels.hpp"
+
+#include <algorithm>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+LevelAssignment LevelAssignment::sample(Vertex n, Rng& rng) {
+  LevelAssignment la;
+  la.level_.assign(n, 0);
+  // Step-synchronous process as in the paper; stops at the first step in
+  // which no vertex advances.
+  std::vector<Vertex> active(n);
+  for (Vertex v = 0; v < n; ++v) active[v] = v;
+  unsigned lambda = 0;
+  while (!active.empty()) {
+    ++lambda;
+    std::vector<Vertex> next;
+    next.reserve(active.size() / 2 + 1);
+    for (Vertex v : active) {
+      if (rng.flip(0.5)) {
+        la.level_[v] = lambda;
+        next.push_back(v);
+      }
+    }
+    if (next.empty()) break;
+    la.max_level_ = lambda;
+    active = std::move(next);
+  }
+  return la;
+}
+
+LevelAssignment LevelAssignment::from_levels(std::vector<unsigned> levels) {
+  LevelAssignment la;
+  la.level_ = std::move(levels);
+  la.max_level_ = la.level_.empty()
+                      ? 0
+                      : *std::max_element(la.level_.begin(), la.level_.end());
+  return la;
+}
+
+std::vector<Vertex> LevelAssignment::vertices_at_or_above(
+    unsigned lambda) const {
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    if (level_[v] >= lambda) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace pmte

@@ -1,0 +1,46 @@
+#pragma once
+// Vertex level sampling for the simulated graph H (Section 4).
+//
+// Every vertex starts at level 0; in step λ ≥ 1 each vertex of level λ−1
+// is raised to level λ with probability 1/2, until a step raises nobody.
+// Equivalently: λ(v) i.i.d. geometric, Λ = max_v λ(v) ∈ O(log n) w.h.p.
+// (Lemma 4.1).  The level of an edge is the minimum level of its endpoints.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.hpp"
+#include "src/util/types.hpp"
+
+namespace pmte {
+
+class LevelAssignment {
+ public:
+  /// Run the paper's sampling process for n vertices.
+  static LevelAssignment sample(Vertex n, Rng& rng);
+
+  /// Deterministic assignment (testing / reproducing specific instances).
+  static LevelAssignment from_levels(std::vector<unsigned> levels);
+
+  [[nodiscard]] Vertex num_vertices() const noexcept {
+    return static_cast<Vertex>(level_.size());
+  }
+  [[nodiscard]] unsigned level(Vertex v) const noexcept { return level_[v]; }
+
+  /// λ({u,v}) = min(λ(u), λ(v)) (Section 4).
+  [[nodiscard]] unsigned edge_level(Vertex u, Vertex v) const noexcept {
+    return level_[u] < level_[v] ? level_[u] : level_[v];
+  }
+
+  /// Λ — the highest sampled level.
+  [[nodiscard]] unsigned max_level() const noexcept { return max_level_; }
+
+  /// V_λ = {v : λ(v) ≥ λ}, ascending.
+  [[nodiscard]] std::vector<Vertex> vertices_at_or_above(unsigned lambda) const;
+
+ private:
+  std::vector<unsigned> level_;
+  unsigned max_level_ = 0;
+};
+
+}  // namespace pmte

@@ -1,0 +1,170 @@
+#include "src/spanner/baswana_sen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+namespace {
+
+constexpr std::int64_t kUnclustered = -1;
+
+/// Lightest edge from v to each adjacent cluster among alive edges.
+/// Ties are broken towards the lexicographically smaller neighbour so the
+/// algorithm is deterministic given the sampling coins.
+struct ClusterEdges {
+  // cluster id → (weight, neighbour)
+  std::unordered_map<std::int64_t, std::pair<Weight, Vertex>> lightest;
+
+  void offer(std::int64_t cluster, Weight w, Vertex nb) {
+    auto it = lightest.find(cluster);
+    if (it == lightest.end() || w < it->second.first ||
+        (w == it->second.first && nb < it->second.second)) {
+      lightest[cluster] = {w, nb};
+    }
+  }
+};
+
+}  // namespace
+
+SpannerResult baswana_sen_spanner(const Graph& g, unsigned k, Rng& rng) {
+  PMTE_CHECK(k >= 1, "spanner parameter k must be >= 1");
+  const Vertex n = g.num_vertices();
+  SpannerResult out;
+  out.k = k;
+  if (k == 1 || n <= 2) {
+    out.spanner = Graph::from_edges(n, g.edge_list());
+    out.edges = out.spanner.num_edges();
+    return out;
+  }
+
+  const double sample_p =
+      std::pow(static_cast<double>(std::max<Vertex>(n, 2)), -1.0 / k);
+
+  std::vector<std::int64_t> cluster(n);
+  for (Vertex v = 0; v < n; ++v) cluster[v] = v;
+
+  auto edges = g.edge_list();
+  std::vector<bool> alive(edges.size(), true);
+  std::vector<WeightedEdge> spanner_edges;
+
+  auto adjacency = [&]() {
+    std::vector<std::vector<std::size_t>> adj(n);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      adj[edges[i].u].push_back(i);
+      adj[edges[i].v].push_back(i);
+    }
+    return adj;
+  };
+
+  for (unsigned round = 1; round <= k - 1; ++round) {
+    // Sample surviving clusters.
+    std::unordered_set<std::int64_t> sampled;
+    {
+      std::unordered_set<std::int64_t> current;
+      for (Vertex v = 0; v < n; ++v) {
+        if (cluster[v] != kUnclustered) current.insert(cluster[v]);
+      }
+      for (std::int64_t c : current) {
+        if (rng.flip(sample_p)) sampled.insert(c);
+      }
+    }
+    const auto adj = adjacency();
+    std::vector<std::int64_t> next_cluster(cluster);
+    for (Vertex v = 0; v < n; ++v) {
+      if (cluster[v] == kUnclustered) continue;
+      if (sampled.count(cluster[v]) > 0) continue;  // carried over verbatim
+
+      ClusterEdges ce;
+      for (std::size_t ei : adj[v]) {
+        const auto& e = edges[ei];
+        const Vertex nb = e.u == v ? e.v : e.u;
+        if (cluster[nb] == kUnclustered || cluster[nb] == cluster[v]) continue;
+        ce.offer(cluster[nb], e.weight, nb);
+      }
+      // Lightest edge into a *sampled* adjacent cluster, if any.
+      bool have_sampled = false;
+      std::int64_t best_cluster = kUnclustered;
+      Weight best_w = inf_weight();
+      Vertex best_nb = no_vertex();
+      for (const auto& [c, wn] : ce.lightest) {
+        if (sampled.count(c) == 0) continue;
+        if (!have_sampled || wn.first < best_w ||
+            (wn.first == best_w && wn.second < best_nb)) {
+          have_sampled = true;
+          best_cluster = c;
+          best_w = wn.first;
+          best_nb = wn.second;
+        }
+      }
+      auto discard_edges_to = [&](std::int64_t c) {
+        for (std::size_t ei : adj[v]) {
+          if (!alive[ei]) continue;
+          const auto& e = edges[ei];
+          const Vertex nb = e.u == v ? e.v : e.u;
+          if (cluster[nb] == c) alive[ei] = false;
+        }
+      };
+      if (!have_sampled) {
+        // Retire v: keep the lightest edge to every adjacent cluster.
+        for (const auto& [c, wn] : ce.lightest) {
+          spanner_edges.push_back(WeightedEdge{v, wn.second, wn.first});
+          discard_edges_to(c);
+        }
+        next_cluster[v] = kUnclustered;
+      } else {
+        // Join the sampled cluster; keep strictly lighter cluster edges.
+        spanner_edges.push_back(WeightedEdge{v, best_nb, best_w});
+        next_cluster[v] = best_cluster;
+        discard_edges_to(best_cluster);
+        for (const auto& [c, wn] : ce.lightest) {
+          if (c == best_cluster) continue;
+          if (wn.first < best_w) {
+            spanner_edges.push_back(WeightedEdge{v, wn.second, wn.first});
+            discard_edges_to(c);
+          }
+        }
+      }
+    }
+    cluster = std::move(next_cluster);
+    // Intra-cluster edges never re-enter consideration.
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      const auto cu = cluster[edges[i].u];
+      const auto cv = cluster[edges[i].v];
+      if (cu != kUnclustered && cu == cv) alive[i] = false;
+    }
+  }
+
+  // Phase 2: lightest edge from every vertex to each adjacent final cluster.
+  {
+    const auto adj = adjacency();
+    for (Vertex v = 0; v < n; ++v) {
+      ClusterEdges ce;
+      for (std::size_t ei : adj[v]) {
+        const auto& e = edges[ei];
+        const Vertex nb = e.u == v ? e.v : e.u;
+        if (cluster[nb] == kUnclustered) continue;
+        if (cluster[v] != kUnclustered && cluster[nb] == cluster[v]) continue;
+        ce.offer(cluster[nb], e.weight, nb);
+      }
+      for (const auto& [c, wn] : ce.lightest) {
+        spanner_edges.push_back(WeightedEdge{v, wn.second, wn.first});
+      }
+    }
+  }
+
+  // Cluster spanning trees: the join edges added in phase 1 already form
+  // them (each member connected towards its centre chain).  Merging via
+  // Graph::from_edges deduplicates.
+  out.spanner = Graph::from_edges(n, std::move(spanner_edges));
+  out.edges = out.spanner.num_edges();
+  return out;
+}
+
+}  // namespace pmte

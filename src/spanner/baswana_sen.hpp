@@ -1,0 +1,28 @@
+#pragma once
+// Baswana–Sen randomised (2k−1)-spanner [8], used by Theorem 6.2 and
+// Corollary 7.11 to trade stretch for work: the spanner has O(k·n^{1+1/k})
+// edges in expectation and preserves all distances up to factor 2k−1.
+//
+// Implementation follows the original two-phase clustering algorithm:
+// k−1 rounds of cluster sampling at rate n^{−1/k} where every vertex either
+// joins a sampled neighbouring cluster via its lightest edge (also keeping
+// every strictly lighter inter-cluster edge) or, if none is adjacent,
+// keeps its lightest edge to *every* adjacent cluster and retires; phase 2
+// connects every vertex to each adjacent surviving cluster.
+
+#include "src/graph/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace pmte {
+
+struct SpannerResult {
+  Graph spanner;           ///< subgraph of g on the same vertex set
+  unsigned k = 1;          ///< stretch parameter: stretch ≤ 2k−1
+  std::size_t edges = 0;   ///< |E_S|
+};
+
+/// Compute a (2k−1)-spanner of connected g.  k = 1 returns g itself.
+[[nodiscard]] SpannerResult baswana_sen_spanner(const Graph& g, unsigned k,
+                                                Rng& rng);
+
+}  // namespace pmte

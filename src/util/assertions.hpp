@@ -1,0 +1,36 @@
+#pragma once
+// Lightweight runtime checks.
+//
+// PMTE_CHECK is always on (validates user-facing API contracts and throws
+// std::invalid_argument / std::logic_error style exceptions); PMTE_ASSERT
+// compiles out in NDEBUG builds and guards internal invariants.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pmte::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PMTE check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace pmte::detail
+
+#define PMTE_CHECK(expr, msg)                                             \
+  do {                                                                    \
+    if (!(expr)) ::pmte::detail::check_failed(#expr, __FILE__, __LINE__,  \
+                                              (msg));                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define PMTE_ASSERT(expr, msg) \
+  do {                         \
+  } while (false)
+#else
+#define PMTE_ASSERT(expr, msg) PMTE_CHECK(expr, msg)
+#endif

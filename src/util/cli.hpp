@@ -1,0 +1,28 @@
+#pragma once
+// Minimal command-line option parsing for benches/examples.
+// Supported syntax: --key=value  or  --flag   (boolean true).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pmte {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::uint64_t seed(std::uint64_t fallback = 42) const;
+
+ private:
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace pmte

@@ -1,0 +1,123 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomised components of the library (level sampling, vertex
+// permutations, beta in [1,2), graph generators) take an explicit RNG so
+// experiments are reproducible from a single seed.  xoshiro256** is used as
+// the main engine, seeded via splitmix64 as recommended by its authors.
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte {
+
+/// splitmix64 step; used for seeding and cheap hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool flip(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child engine (for per-thread streams).
+  [[nodiscard]] Rng split() noexcept { return Rng((*this)() ^ 0xd1342543de82ef95ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher–Yates shuffle of [first, last).
+template <typename It>
+void shuffle(It first, It last, Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const auto j = rng.below(i);
+    using std::swap;
+    swap(first[i - 1], first[j]);
+  }
+}
+
+/// Uniformly random permutation of {0, …, n−1}.
+[[nodiscard]] inline std::vector<std::uint32_t> random_permutation(
+    std::uint32_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+/// Inverse of a permutation: inv[perm[i]] = i.
+[[nodiscard]] inline std::vector<std::uint32_t> invert_permutation(
+    const std::vector<std::uint32_t>& perm) {
+  std::vector<std::uint32_t> inv(perm.size());
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    PMTE_ASSERT(perm[i] < perm.size(), "permutation out of range");
+    inv[perm[i]] = i;
+  }
+  return inv;
+}
+
+}  // namespace pmte

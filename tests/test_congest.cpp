@@ -1,0 +1,112 @@
+// Tests for the Congest-model simulation (Section 8): round accounting of
+// the Khan et al. algorithm and the skeleton-based algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/congest/congest.hpp"
+#include "src/frt/frt_tree.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/shortest_paths.hpp"
+
+namespace pmte {
+namespace {
+
+TEST(CongestKhan, ListsMatchDirectIteration) {
+  Rng rng(1);
+  const auto g = make_gnm(40, 90, {1.0, 4.0}, rng);
+  const auto order = VertexOrder::random(40, rng);
+  const auto run = congest_frt_khan(g, order);
+  const auto direct = le_lists_iteration(g, order);
+  ASSERT_TRUE(run.le.converged);
+  for (Vertex v = 0; v < 40; ++v) {
+    EXPECT_EQ(run.le.lists[v], direct.lists[v]) << "vertex " << v;
+  }
+}
+
+TEST(CongestKhan, RoundsScaleWithSpdTimesListSize) {
+  // Each iteration costs max list length rounds; Θ(SPD) iterations.
+  const auto g = make_path(100);
+  Rng rng(2);
+  const auto order = VertexOrder::random(100, rng);
+  const auto run = congest_frt_khan(g, order);
+  EXPECT_GE(run.le.iterations, 50U);
+  EXPECT_GE(run.rounds, run.le.iterations);  // ≥ 1 round per iteration
+  // O(SPD·log n) w.h.p.: generous envelope.
+  EXPECT_LE(run.rounds,
+            static_cast<std::uint64_t>(100 * 8 * std::log2(100.0)));
+}
+
+TEST(CongestSkeleton, ProducesValidListsAndEmbedding) {
+  Rng rng(3);
+  const auto g = make_clique_chain(12, 6, {1.0, 2.0}, rng);
+  SkeletonOptions opts;
+  opts.spanner_k = 2;
+  const auto sk = congest_frt_skeleton(g, opts, rng);
+  ASSERT_EQ(sk.run.le.lists.size(), g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(sk.run.le.lists[v].is_least_element_list()) << "vertex " << v;
+    EXPECT_FALSE(sk.run.le.lists[v].empty());
+  }
+  EXPECT_GT(sk.run.skeleton_size, 0U);
+  EXPECT_DOUBLE_EQ(sk.run.embedding_stretch, 3.0);  // 2k−1
+  // The virtual graph dominates G and stays within (2k−1)·(1+o(1)).
+  const auto dg = dijkstra(g, 0).dist;
+  const auto dh = dijkstra(sk.virtual_graph, 0).dist;
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_GE(dh[v], dg[v] - 1e-9);
+    EXPECT_LE(dh[v], 3.0 * dg[v] + 1e-9);
+  }
+}
+
+TEST(CongestSkeleton, ListsAreListsOfVirtualGraph) {
+  // With ℓ = n the final phase runs to the fixpoint, so the produced lists
+  // must match sequential LE lists of the explicit virtual graph.
+  Rng rng(4);
+  const auto g = make_gnm(30, 70, {1.0, 3.0}, rng);
+  SkeletonOptions opts;
+  opts.ell = 30;  // full propagation
+  opts.spanner_k = 2;
+  const auto sk = congest_frt_skeleton(g, opts, rng);
+  const auto ref = le_lists_sequential(sk.virtual_graph, sk.order);
+  std::size_t agree = 0;
+  for (Vertex v = 0; v < 30; ++v) {
+    agree += approx_equal(sk.run.le.lists[v], ref.lists[v]) ? 1 : 0;
+  }
+  // Equation (8.9) holds w.h.p.; demand near-total agreement.
+  EXPECT_GE(agree, 28U);
+}
+
+TEST(CongestSkeleton, BeatsKhanOnHighSpdGraphs) {
+  // The motivating regime (Section 8): SPD(G) ≈ n but D(G) tiny.  A long
+  // unit path plus a prohibitively heavy star centre keeps every shortest
+  // path on the path (SPD = n−1) while D(G) = 2.  Khan pays
+  // Θ(SPD·|list|) rounds; the skeleton algorithm Õ(√n + D).
+  Rng rng(5);
+  const Vertex n = 400;
+  auto edges = make_path(n).edge_list();
+  for (Vertex v = 0; v + 1 < n; ++v) {
+    edges.push_back(WeightedEdge{v, static_cast<Vertex>(n - 1), 1e6});
+  }
+  const auto g = Graph::from_edges(n, std::move(edges));
+  const auto order = VertexOrder::random(g.num_vertices(), rng);
+  const auto khan = congest_frt_khan(g, order);
+  SkeletonOptions opts;
+  opts.size_constant = 0.15;  // |S| ≈ ℓ keeps the broadcast term small
+  const auto sk = congest_frt_skeleton(g, opts, rng);
+  EXPECT_LT(sk.run.rounds, khan.rounds);
+}
+
+TEST(CongestSkeleton, TreeFromListsIsUsable) {
+  Rng rng(6);
+  const auto g = make_gnm(36, 80, {1.0, 4.0}, rng);
+  const auto sk = congest_frt_skeleton(g, {}, rng);
+  const auto tree =
+      FrtTree::build(sk.run.le.lists, sk.order, 1.3,
+                     sk.virtual_graph.min_edge_weight());
+  tree.validate();
+  EXPECT_EQ(tree.num_leaves(), g.num_vertices());
+}
+
+}  // namespace
+}  // namespace pmte

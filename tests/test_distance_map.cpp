@@ -1,0 +1,231 @@
+// Tests for the distance-map semimodule D (Definition 2.1) and its filters,
+// including the semimodule axioms (Lemma A.4 / Corollary 2.2) and the
+// congruence laws of the LE and source-detection filters (Lemma 2.8,
+// Lemma 7.5) on randomised samples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/algebra/axioms.hpp"
+#include "src/algebra/distance_map.hpp"
+#include "src/util/rng.hpp"
+
+namespace pmte {
+namespace {
+
+DistanceMap random_map(Rng& rng, Vertex key_range, std::size_t max_entries) {
+  std::vector<DistEntry> entries;
+  const auto count = rng.below(max_entries + 1);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    entries.push_back(DistEntry{static_cast<Vertex>(rng.below(key_range)),
+                                std::floor(rng.uniform(0.0, 20.0))});
+  }
+  return DistanceMap::from_entries(std::move(entries));
+}
+
+TEST(DistanceMap, FromEntriesNormalises) {
+  auto m = DistanceMap::from_entries(
+      {{3, 5.0}, {1, 2.0}, {3, 4.0}, {2, inf_weight()}});
+  ASSERT_EQ(m.size(), 2U);
+  EXPECT_EQ(m[0].key, 1U);
+  EXPECT_DOUBLE_EQ(m[0].dist, 2.0);
+  EXPECT_EQ(m[1].key, 3U);
+  EXPECT_DOUBLE_EQ(m[1].dist, 4.0);  // duplicate keeps the minimum
+  EXPECT_DOUBLE_EQ(m.at(1), 2.0);
+  EXPECT_FALSE(is_finite(m.at(7)));
+}
+
+TEST(DistanceMap, MergeMinMatchesBruteForce) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto a = random_map(rng, 12, 8);
+    const auto b = random_map(rng, 12, 8);
+    const double shift = std::floor(rng.uniform(0.0, 5.0));
+    std::map<Vertex, Weight> expect;
+    for (const auto& e : a.entries()) expect[e.key] = e.dist;
+    for (const auto& e : b.entries()) {
+      const auto it = expect.find(e.key);
+      const Weight val = e.dist + shift;
+      if (it == expect.end() || val < it->second) expect[e.key] = val;
+    }
+    a.merge_min(b, shift);
+    ASSERT_EQ(a.size(), expect.size());
+    for (const auto& [k, v] : expect) EXPECT_DOUBLE_EQ(a.at(k), v);
+  }
+}
+
+TEST(DistanceMap, AddToAllInfinityYieldsBottom) {
+  auto m = DistanceMap::from_entries({{0, 1.0}, {5, 2.0}});
+  m.add_to_all(inf_weight());
+  EXPECT_TRUE(m.empty());  // Equation (2.2)
+}
+
+TEST(DistanceMap, KeepKSmallestLexicographic) {
+  auto m = DistanceMap::from_entries({{0, 5.0}, {1, 3.0}, {2, 3.0}, {3, 1.0}});
+  m.keep_k_smallest(2);
+  ASSERT_EQ(m.size(), 2U);
+  EXPECT_DOUBLE_EQ(m.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1), 3.0);  // ties broken towards smaller key
+}
+
+TEST(DistanceMap, KeepKSmallestNoOpWhenSmall) {
+  auto m = DistanceMap::from_entries({{0, 1.0}});
+  m.keep_k_smallest(5);
+  EXPECT_EQ(m.size(), 1U);
+}
+
+TEST(DistanceMap, DropBeyond) {
+  auto m = DistanceMap::from_entries({{0, 1.0}, {1, 5.0}, {2, 3.0}});
+  m.drop_beyond(3.0);
+  EXPECT_EQ(m.size(), 2U);
+  EXPECT_TRUE(is_finite(m.at(2)));
+  EXPECT_FALSE(is_finite(m.at(1)));
+}
+
+TEST(DistanceMap, LeFilterStaircase) {
+  // Ranks: 0 far, 4 owns distance 0; dominated entries must vanish.
+  auto m = DistanceMap::from_entries(
+      {{4, 0.0}, {2, 4.0}, {3, 4.0}, {1, 9.0}, {0, 12.0}});
+  m.keep_least_elements();
+  EXPECT_TRUE(m.is_least_element_list());
+  // (3,4) dominated by (2,4); (4,0) survives (nothing smaller).
+  EXPECT_DOUBLE_EQ(m.at(4), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2), 4.0);
+  EXPECT_FALSE(is_finite(m.at(3)));
+  EXPECT_DOUBLE_EQ(m.at(0), 12.0);
+}
+
+TEST(DistanceMap, LeFilterMatchesBruteForce) {
+  Rng rng(32);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto m = random_map(rng, 10, 10);
+    auto filtered = m;
+    filtered.keep_least_elements();
+    EXPECT_TRUE(filtered.is_least_element_list());
+    // Brute force: (k, d) survives iff no k' < k with d' <= d.
+    for (const auto& e : m.entries()) {
+      bool dominated = false;
+      for (const auto& f : m.entries()) {
+        if (f.key < e.key && f.dist <= e.dist) dominated = true;
+      }
+      if (dominated) {
+        EXPECT_FALSE(is_finite(filtered.at(e.key)))
+            << "dominated key " << e.key << " kept";
+      } else {
+        EXPECT_DOUBLE_EQ(filtered.at(e.key), e.dist);
+      }
+    }
+  }
+}
+
+TEST(DistanceMap, LeFilterIdempotent) {
+  Rng rng(33);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto m = random_map(rng, 15, 12);
+    m.keep_least_elements();
+    auto twice = m;
+    twice.keep_least_elements();
+    EXPECT_EQ(m, twice);  // Observation 2.7: r² = r
+  }
+}
+
+// --- Semimodule axioms for D over Smin,+ (Corollary 2.2) --------------
+
+class DistanceMapSemimodule : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DistanceMapSemimodule, Axioms) {
+  Rng rng(GetParam());
+  std::vector<Weight> scalars{0.0, 1.0, inf_weight(),
+                              std::floor(rng.uniform(0.0, 9.0))};
+  std::vector<DistanceMap> elems{DistanceMap{}};
+  for (int i = 0; i < 5; ++i) elems.push_back(random_map(rng, 8, 6));
+  const auto madd = [](const DistanceMap& a, const DistanceMap& b) {
+    auto out = a;
+    out.merge_min(b);
+    return out;
+  };
+  const auto smul = [](const Weight& s, const DistanceMap& x) {
+    auto out = x;
+    out.add_to_all(s);
+    return out;
+  };
+  const auto eq = [](const DistanceMap& a, const DistanceMap& b) {
+    return a == b;
+  };
+  const auto rep = check_semimodule_axioms<MinPlus, DistanceMap>(
+      scalars, elems, madd, smul, DistanceMap{}, eq);
+  EXPECT_TRUE(rep.ok) << rep.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceMapSemimodule,
+                         ::testing::Values(41, 42, 43, 44, 45));
+
+// --- Congruence of the filters (Lemma 2.8 / Lemma 7.5) ----------------
+
+class FilterCongruence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FilterCongruence, LeFilterIsCongruent) {
+  Rng rng(GetParam());
+  std::vector<Weight> scalars{0.0, 2.0, 5.0, inf_weight()};
+  std::vector<DistanceMap> elems{DistanceMap{}};
+  for (int i = 0; i < 7; ++i) elems.push_back(random_map(rng, 6, 6));
+  const auto madd = [](const DistanceMap& a, const DistanceMap& b) {
+    auto out = a;
+    out.merge_min(b);
+    return out;
+  };
+  const auto smul = [](const Weight& s, const DistanceMap& x) {
+    auto out = x;
+    out.add_to_all(s);
+    return out;
+  };
+  const auto r = [](const DistanceMap& x) {
+    auto out = x;
+    out.keep_least_elements();
+    return out;
+  };
+  const auto eq = [](const DistanceMap& a, const DistanceMap& b) {
+    return a == b;
+  };
+  const auto rep =
+      check_congruence<MinPlus, DistanceMap>(scalars, elems, madd, smul, r, eq);
+  EXPECT_TRUE(rep.ok) << rep.violation;
+}
+
+TEST_P(FilterCongruence, SourceDetectionFilterIsCongruent) {
+  Rng rng(GetParam() + 1000);
+  std::vector<Weight> scalars{0.0, 1.0, 3.0, inf_weight()};
+  std::vector<DistanceMap> elems{DistanceMap{}};
+  for (int i = 0; i < 7; ++i) elems.push_back(random_map(rng, 6, 6));
+  const auto madd = [](const DistanceMap& a, const DistanceMap& b) {
+    auto out = a;
+    out.merge_min(b);
+    return out;
+  };
+  const auto smul = [](const Weight& s, const DistanceMap& x) {
+    auto out = x;
+    out.add_to_all(s);
+    return out;
+  };
+  // (S, h, d, k)-source-detection filter with d = 12, k = 3 (Example 3.2).
+  const auto r = [](const DistanceMap& x) {
+    auto out = x;
+    out.drop_beyond(12.0);
+    out.keep_k_smallest(3);
+    return out;
+  };
+  const auto eq = [](const DistanceMap& a, const DistanceMap& b) {
+    return a == b;
+  };
+  const auto rep =
+      check_congruence<MinPlus, DistanceMap>(scalars, elems, madd, smul, r, eq);
+  EXPECT_TRUE(rep.ok) << rep.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterCongruence,
+                         ::testing::Values(51, 52, 53, 54));
+
+}  // namespace
+}  // namespace pmte

@@ -1,0 +1,181 @@
+// Tests for FRT tree construction (Section 7.1, Lemma 7.2): structural
+// validity, the dominance property of the default weight rule, and the
+// O(log n) expected stretch on sampled instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/frt/pipelines.hpp"
+#include "src/frt/stretch.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/shortest_paths.hpp"
+
+namespace pmte {
+namespace {
+
+class FrtTreeBuild : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Graph random_graph() {
+    Rng rng(GetParam());
+    return make_gnm(40, 90, {1.0, 7.0}, rng);
+  }
+};
+
+TEST_P(FrtTreeBuild, TreeIsStructurallyValid) {
+  const auto g = random_graph();
+  Rng rng(GetParam() + 1);
+  const auto sample = sample_frt_direct(g, rng);
+  sample.tree.validate();
+  EXPECT_EQ(sample.tree.num_leaves(), g.num_vertices());
+  EXPECT_GE(sample.tree.num_levels(), 2U);
+  EXPECT_GE(sample.beta, 1.0);
+  EXPECT_LT(sample.beta, 2.0);
+}
+
+TEST_P(FrtTreeBuild, DominanceHolds) {
+  // dist_T ≥ dist_G for the dominating weight rule (Definition 7.1).
+  const auto g = random_graph();
+  Rng rng(GetParam() + 2);
+  const auto sample = sample_frt_direct(g, rng);
+  for (Vertex s : {0U, 13U, 29U}) {
+    const auto d = dijkstra(g, s).dist;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (v == s) continue;
+      EXPECT_GE(sample.tree.distance(s, v), d[v] - 1e-9)
+          << "pair (" << s << ", " << v << ")";
+    }
+  }
+}
+
+TEST_P(FrtTreeBuild, TreeDistanceIsAMetric) {
+  const auto g = random_graph();
+  Rng rng(GetParam() + 3);
+  const auto t = sample_frt_direct(g, rng).tree;
+  for (Vertex a = 0; a < 12; ++a) {
+    EXPECT_DOUBLE_EQ(t.distance(a, a), 0.0);
+    for (Vertex b = 0; b < 12; ++b) {
+      EXPECT_DOUBLE_EQ(t.distance(a, b), t.distance(b, a));
+      if (a != b) {
+        EXPECT_GT(t.distance(a, b), 0.0);
+      }
+      for (Vertex c = 0; c < 12; ++c) {
+        EXPECT_LE(t.distance(a, b),
+                  t.distance(a, c) + t.distance(c, b) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(FrtTreeBuild, KhanRuleHalvesWeights) {
+  const auto g = random_graph();
+  Rng rng1(GetParam() + 4);
+  Rng rng2(GetParam() + 4);  // identical randomness for both rules
+  FrtOptions dom;
+  dom.rule = FrtWeightRule::dominating;
+  FrtOptions khan;
+  khan.rule = FrtWeightRule::khan;
+  const auto a = sample_frt_direct(g, rng1, dom);
+  const auto b = sample_frt_direct(g, rng2, khan);
+  for (Vertex v = 1; v < 10; ++v) {
+    EXPECT_NEAR(a.tree.distance(0, v), 2.0 * b.tree.distance(0, v), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrtTreeBuild,
+                         ::testing::Values(601, 602, 603, 604));
+
+TEST(FrtTree, ExpectedStretchIsLogarithmic) {
+  // [19]: E[stretch] ∈ O(log n).  With the dominating rule the constant
+  // roughly doubles; 8·log2(n) is a generous non-flaky envelope for the
+  // *average* expected stretch.
+  Rng rng(42);
+  const Vertex n = 64;
+  const auto g = make_gnm(n, 160, {1.0, 4.0}, rng);
+  const auto pairs = sample_pairs(g, 16, 256, rng);
+  std::vector<FrtTree> trees;
+  for (int t = 0; t < 24; ++t) {
+    trees.push_back(sample_frt_direct(g, rng).tree);
+  }
+  const auto rep = measure_stretch(pairs, trees);
+  EXPECT_GE(rep.min_single_ratio, 1.0 - 1e-9);  // dominance, every sample
+  EXPECT_LE(rep.avg_expected_stretch, 8.0 * std::log2(n));
+  EXPECT_GT(rep.avg_expected_stretch, 1.0);
+}
+
+TEST(FrtTree, WorstCaseCycleStretchStaysModerate) {
+  // The cycle is the classic bad instance for deterministic tree
+  // embeddings; randomisation keeps the *expected* stretch logarithmic.
+  Rng rng(43);
+  const Vertex n = 48;
+  const auto g = make_cycle(n);
+  const auto pairs = sample_pairs(g, n, 512, rng);
+  std::vector<FrtTree> trees;
+  for (int t = 0; t < 32; ++t) {
+    trees.push_back(sample_frt_direct(g, rng).tree);
+  }
+  const auto rep = measure_stretch(pairs, trees);
+  EXPECT_GE(rep.min_single_ratio, 1.0 - 1e-9);
+  EXPECT_LE(rep.avg_expected_stretch, 10.0 * std::log2(n));
+}
+
+TEST(FrtTree, SingleVertexTree) {
+  std::vector<DistanceMap> lists{DistanceMap::singleton(0, 0.0)};
+  const auto order = VertexOrder::identity(1);
+  const auto t = FrtTree::build(lists, order, 1.5, 1.0);
+  t.validate();
+  EXPECT_EQ(t.num_leaves(), 1U);
+  EXPECT_DOUBLE_EQ(t.distance(0, 0), 0.0);
+}
+
+TEST(FrtTree, TwoVertexTreeDistances) {
+  // Two vertices at distance 5, β = 1: leaves diverge below the scale
+  // covering 5.
+  auto g = Graph::from_edges(2, {{0, 1, 5.0}});
+  const auto order = VertexOrder::identity(2);
+  const auto le = le_lists_sequential(g, order);
+  const auto t = FrtTree::build(le.lists, order, 1.0, 5.0,
+                                FrtWeightRule::dominating);
+  t.validate();
+  const double dt = t.distance(0, 1);
+  EXPECT_GE(dt, 5.0);
+  // Divergence happens within a constant factor of the true distance:
+  // scales are geometric, so dist_T ≤ 8·dist (dominating rule, β = 1).
+  EXPECT_LE(dt, 8.0 * 5.0);
+}
+
+TEST(FrtTree, RejectsInvalidInputs) {
+  std::vector<DistanceMap> lists{DistanceMap::singleton(0, 0.0)};
+  const auto order = VertexOrder::identity(1);
+  EXPECT_THROW((void)FrtTree::build(lists, order, 2.5, 1.0),
+               std::logic_error);  // beta out of range
+  EXPECT_THROW((void)FrtTree::build(lists, order, 1.0, 0.0),
+               std::logic_error);  // bad dmin
+  std::vector<DistanceMap> empty_list{DistanceMap{}};
+  EXPECT_THROW((void)FrtTree::build(empty_list, order, 1.0, 1.0),
+               std::logic_error);  // empty LE list
+}
+
+TEST(FrtTree, DisconnectedGraphIsRejected) {
+  const auto g = Graph::from_edges(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  Rng rng(5);
+  const auto order = VertexOrder::random(4, rng);
+  const auto le = le_lists_sequential(g, order);
+  EXPECT_THROW((void)FrtTree::build(le.lists, order, 1.0, 1.0),
+               std::logic_error);
+}
+
+TEST(FrtTree, BottomUpOrderIsTopological) {
+  Rng rng(6);
+  const auto g = make_gnm(20, 40, {1.0, 2.0}, rng);
+  const auto t = sample_frt_direct(g, rng).tree;
+  std::vector<bool> seen(t.num_nodes(), false);
+  for (const auto id : t.bottom_up_order()) {
+    for (const auto c : t.node(id).children) {
+      EXPECT_TRUE(seen[c]) << "child visited after parent";
+    }
+    seen[id] = true;
+  }
+}
+
+}  // namespace
+}  // namespace pmte

@@ -1,0 +1,95 @@
+// Unit tests for the CSR graph substrate (src/graph/graph.*).
+#include <gtest/gtest.h>
+
+#include "src/graph/graph.hpp"
+
+namespace pmte {
+namespace {
+
+TEST(Graph, BasicConstruction) {
+  auto g = Graph::from_edges(
+      4, {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {0, 3, 4.0}});
+  EXPECT_EQ(g.num_vertices(), 4U);
+  EXPECT_EQ(g.num_edges(), 4U);
+  EXPECT_EQ(g.degree(0), 2U);
+  EXPECT_EQ(g.degree(1), 2U);
+  EXPECT_DOUBLE_EQ(g.min_edge_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max_edge_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 10.0);
+}
+
+TEST(Graph, NeighborsSortedAndSymmetric) {
+  auto g = Graph::from_edges(5, {{3, 1, 1.0}, {3, 0, 2.0}, {3, 4, 0.5}});
+  const auto nb = g.neighbors(3);
+  ASSERT_EQ(nb.size(), 3U);
+  EXPECT_EQ(nb[0].to, 0U);
+  EXPECT_EQ(nb[1].to, 1U);
+  EXPECT_EQ(nb[2].to, 4U);
+  // Symmetry: each neighbour lists 3 back with the same weight.
+  for (const auto& e : nb) {
+    EXPECT_DOUBLE_EQ(g.edge_weight(e.to, 3), e.weight);
+  }
+}
+
+TEST(Graph, ParallelEdgesKeepMinimum) {
+  auto g = Graph::from_edges(2, {{0, 1, 5.0}, {1, 0, 2.0}, {0, 1, 9.0}});
+  EXPECT_EQ(g.num_edges(), 1U);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.0);
+}
+
+TEST(Graph, SelfLoopsDropped) {
+  auto g = Graph::from_edges(3, {{0, 0, 1.0}, {0, 1, 1.0}});
+  EXPECT_EQ(g.num_edges(), 1U);
+  EXPECT_EQ(g.degree(0), 1U);
+}
+
+TEST(Graph, EdgeWeightLookup) {
+  auto g = Graph::from_edges(3, {{0, 1, 1.5}});
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 0), 0.0);
+  EXPECT_FALSE(is_finite(g.edge_weight(0, 2)));
+}
+
+TEST(Graph, EdgeListRoundTrips) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 3.0}};
+  auto g = Graph::from_edges(3, edges);
+  const auto out = g.edge_list();
+  ASSERT_EQ(out.size(), 3U);
+  auto g2 = Graph::from_edges(3, out);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (Vertex v = 0; v < 3; ++v) {
+    EXPECT_EQ(g2.degree(v), g.degree(v));
+  }
+}
+
+TEST(Graph, AugmentedMergesEdges) {
+  auto g = Graph::from_edges(3, {{0, 1, 1.0}});
+  auto g2 = g.augmented({{1, 2, 2.0}, {0, 1, 0.5}});
+  EXPECT_EQ(g2.num_edges(), 2U);
+  EXPECT_DOUBLE_EQ(g2.edge_weight(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(g2.edge_weight(1, 2), 2.0);
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+  EXPECT_EQ(g.num_edges(), 1U);
+}
+
+TEST(Graph, RejectsInvalidInput) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 5, 1.0}}), std::logic_error);
+  EXPECT_THROW(Graph::from_edges(2, {{0, 1, 0.0}}), std::logic_error);
+  EXPECT_THROW(Graph::from_edges(2, {{0, 1, -1.0}}), std::logic_error);
+  EXPECT_THROW(Graph::from_edges(2, {{0, 1, inf_weight()}}),
+               std::logic_error);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0U);
+  EXPECT_EQ(g.num_edges(), 0U);
+  auto g1 = Graph::from_edges(1, {});
+  EXPECT_EQ(g1.num_vertices(), 1U);
+  EXPECT_EQ(g1.degree(0), 0U);
+}
+
+}  // namespace
+}  // namespace pmte

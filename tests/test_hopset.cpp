@@ -1,0 +1,116 @@
+// Tests for the (d, ε̂)-hop-set constructions (src/hopset): the defining
+// inequality (1.3) and structural properties.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/shortest_paths.hpp"
+#include "src/hopset/hopset.hpp"
+
+namespace pmte {
+namespace {
+
+class HopsetFamilies : public ::testing::TestWithParam<int> {
+ protected:
+  Graph family_graph() {
+    switch (GetParam()) {
+      case 0:
+        return make_path(120, {1.0, 3.0}, Rng(1));
+      case 1:
+        return make_cycle(100, {0.5, 2.0}, Rng(2));
+      case 2:
+        return make_grid(10, 12, {1.0, 2.0}, Rng(3));
+      case 3:
+        return make_gnm(100, 240, {1.0, 5.0}, Rng(4));
+      default:
+        return make_caterpillar(40, 2, 4.0, 1.0);
+    }
+  }
+};
+
+TEST_P(HopsetFamilies, HubHopSetIsExact) {
+  const auto g = family_graph();
+  Rng rng(77);
+  const auto hs = build_hub_hopset(g, {}, rng);
+  EXPECT_GT(hs.num_hubs, 0U);
+  EXPECT_GE(hs.d, 2U);
+  // ε̂ = 0: d-hop distances in G' must equal exact distances (w.h.p.).
+  const double stretch =
+      measure_hopset_stretch(g, hs, g.num_vertices(), rng);
+  EXPECT_DOUBLE_EQ(stretch, 1.0);
+}
+
+TEST_P(HopsetFamilies, HopSetNeverShortensDistances) {
+  const auto g = family_graph();
+  Rng rng(78);
+  const auto hs = build_hub_hopset(g, {}, rng);
+  const auto gp = hs.apply(g);
+  const auto before = dijkstra(g, 0).dist;
+  const auto after = dijkstra(gp, 0).dist;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(after[v], before[v], 1e-9) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, HopsetFamilies,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(Hopset, ExactHopSetHasHopBoundOne) {
+  const auto g = make_path(40, {1.0, 2.0}, Rng(5));
+  const auto hs = build_exact_hopset(g);
+  EXPECT_EQ(hs.d, 1U);
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(measure_hopset_stretch(g, hs, g.num_vertices(), rng), 1.0);
+  // One shortcut per connected pair (duplicates of graph edges merge away
+  // when applied).
+  EXPECT_EQ(hs.edges.size(), static_cast<std::size_t>(40) * 39 / 2);
+}
+
+TEST(Hopset, TrivialHopSetAddsNothing) {
+  const auto g = make_cycle(30);
+  const auto hs = build_trivial_hopset(g);
+  EXPECT_TRUE(hs.edges.empty());
+  EXPECT_EQ(hs.d, 29U);
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(measure_hopset_stretch(g, hs, 5, rng), 1.0);
+}
+
+TEST(Hopset, WindowParameterControlsHopBound) {
+  const auto g = make_path(200);
+  Rng rng(8);
+  HubHopSetParams params;
+  params.window = 10;
+  const auto hs = build_hub_hopset(g, params, rng);
+  EXPECT_EQ(hs.d, 20U);
+  // Dense sampling at window 10: expect plenty of hubs on a 200-path.
+  EXPECT_GT(hs.num_hubs, 20U);
+  EXPECT_DOUBLE_EQ(measure_hopset_stretch(g, hs, 20, rng), 1.0);
+}
+
+TEST(Hopset, MaxHubsCapRespected) {
+  const auto g = make_path(150);
+  Rng rng(9);
+  HubHopSetParams params;
+  params.window = 5;
+  params.max_hubs = 7;
+  const auto hs = build_hub_hopset(g, params, rng);
+  EXPECT_LE(hs.num_hubs, 7U);
+  EXPECT_LE(hs.edges.size(), 7U * 6 / 2);
+}
+
+TEST(Hopset, HopDistancesActuallyShrink) {
+  // The point of the exercise: d-hop distances in G' reach what needs
+  // SPD(G) hops in G.
+  const auto g = make_path(256);
+  Rng rng(10);
+  const auto hs = build_hub_hopset(g, {}, rng);
+  const auto gp = hs.apply(g);
+  const auto hop_limited = bellman_ford_hops(gp, 0, hs.d);
+  EXPECT_TRUE(is_finite(hop_limited[255]));
+  EXPECT_DOUBLE_EQ(hop_limited[255], 255.0);
+  // Without the hop set, d hops see only a prefix.
+  const auto plain = bellman_ford_hops(g, 0, hs.d);
+  EXPECT_FALSE(is_finite(plain[255]));
+}
+
+}  // namespace
+}  // namespace pmte

@@ -1,0 +1,121 @@
+// Tests for graph serialisation (src/graph/io) and FRT tree export
+// (src/frt/tree_export).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/frt/pipelines.hpp"
+#include "src/frt/tree_export.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/io.hpp"
+
+namespace pmte {
+namespace {
+
+TEST(GraphIo, RoundTripsExactly) {
+  Rng rng(1);
+  const auto g = make_gnm(40, 100, {0.125, 17.25}, rng);
+  std::stringstream ss;
+  write_dimacs(g, ss);
+  const auto back = read_dimacs(ss);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (const auto& e : g.edge_list()) {
+    EXPECT_DOUBLE_EQ(back.edge_weight(e.u, e.v), e.weight);
+  }
+}
+
+TEST(GraphIo, RoundTripsIrrationalWeights) {
+  // Shortest round-trip formatting must reproduce doubles bit-exactly.
+  Rng rng(2);
+  std::vector<WeightedEdge> edges;
+  for (Vertex i = 0; i + 1 < 20; ++i) {
+    edges.push_back(WeightedEdge{i, static_cast<Vertex>(i + 1),
+                                 rng.uniform(1e-6, 1e6)});
+  }
+  const auto g = Graph::from_edges(20, edges);
+  std::stringstream ss;
+  write_dimacs(g, ss);
+  const auto back = read_dimacs(ss);
+  for (const auto& e : g.edge_list()) {
+    EXPECT_EQ(back.edge_weight(e.u, e.v), e.weight);  // exact, not near
+  }
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("e 1 2 1.0\n");  // edge before header
+    EXPECT_THROW((void)read_dimacs(ss), std::logic_error);
+  }
+  {
+    std::stringstream ss("p sp 3 1\ne 1 9 1.0\n");  // endpoint out of range
+    EXPECT_THROW((void)read_dimacs(ss), std::logic_error);
+  }
+  {
+    std::stringstream ss("p sp 3 2\ne 1 2 1.0\n");  // wrong edge count
+    EXPECT_THROW((void)read_dimacs(ss), std::logic_error);
+  }
+  {
+    std::stringstream ss("x nonsense\n");
+    EXPECT_THROW((void)read_dimacs(ss), std::logic_error);
+  }
+  {
+    std::stringstream ss("");
+    EXPECT_THROW((void)read_dimacs(ss), std::logic_error);
+  }
+}
+
+TEST(GraphIo, CommentsAreIgnored) {
+  std::stringstream ss("c hello\np sp 2 1\nc mid\ne 1 2 2.5\n");
+  const auto g = read_dimacs(ss);
+  EXPECT_EQ(g.num_vertices(), 2U);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.5);
+}
+
+TEST(GraphIo, FileHelpers) {
+  Rng rng(3);
+  const auto g = make_grid(4, 4, {1.0, 2.0}, rng);
+  const std::string path = "/tmp/pmte_io_test.gr";
+  save_graph(g, path);
+  const auto back = load_graph(path);
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_THROW((void)load_graph("/nonexistent/dir/x.gr"), std::logic_error);
+}
+
+TEST(TreeExport, DotContainsAllLeaves) {
+  Rng rng(4);
+  const auto g = make_gnm(15, 30, {1.0, 3.0}, rng);
+  const auto sample = sample_frt_direct(g, rng);
+  std::stringstream ss;
+  write_dot(sample.tree, ss);
+  const auto dot = ss.str();
+  EXPECT_NE(dot.find("digraph frt"), std::string::npos);
+  for (Vertex v = 0; v < 15; ++v) {
+    EXPECT_NE(dot.find("\"v" + std::to_string(v) + "\""), std::string::npos)
+        << "leaf " << v << " missing from DOT output";
+  }
+}
+
+TEST(TreeExport, TextFormatHasOneLinePerNode) {
+  Rng rng(5);
+  const auto g = make_path(10);
+  const auto sample = sample_frt_direct(g, rng);
+  std::stringstream ss;
+  write_tree(sample.tree, ss);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(ss, line)) ++lines;
+  EXPECT_EQ(lines, sample.tree.num_nodes() + 1);  // header + nodes
+}
+
+TEST(TreeExport, SummaryMentionsCounts) {
+  Rng rng(6);
+  const auto g = make_cycle(12);
+  const auto sample = sample_frt_direct(g, rng);
+  const auto s = tree_summary(sample.tree);
+  EXPECT_NE(s.find("leaves=12"), std::string::npos);
+  EXPECT_NE(s.find("nodes="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmte

@@ -1,0 +1,130 @@
+// Tests for the generic MBF-like engine (Section 2): matrix-vector
+// semantics, fixpoint behaviour, and Corollary 2.17 (intermediate filtering
+// does not change the filtered result).
+#include <gtest/gtest.h>
+
+#include "src/frt/le_lists.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/shortest_paths.hpp"
+#include "src/mbf/algebras.hpp"
+#include "src/mbf/engine.hpp"
+
+namespace pmte {
+namespace {
+
+TEST(MbfEngine, SingleStepIsMatrixVectorProduct) {
+  // x⁽¹⁾ = A x⁽⁰⁾ over Smin,+/D must equal one Bellman-Ford round.
+  auto g = Graph::from_edges(4, {{0, 1, 1.0}, {1, 2, 2.0}, {0, 3, 7.0}});
+  SourceDetectionAlgebra alg;  // identity filter
+  std::vector<DistanceMap> x(4);
+  x[0] = DistanceMap::singleton(0, 0.0);
+  const auto y = mbf_step(g, alg, x);
+  EXPECT_DOUBLE_EQ(y[0].at(0), 0.0);
+  EXPECT_DOUBLE_EQ(y[1].at(0), 1.0);
+  EXPECT_DOUBLE_EQ(y[3].at(0), 7.0);
+  EXPECT_TRUE(y[2].empty());  // two hops away
+}
+
+TEST(MbfEngine, WeightScaleStretchesEdges) {
+  auto g = Graph::from_edges(2, {{0, 1, 3.0}});
+  SourceDetectionAlgebra alg;
+  std::vector<DistanceMap> x(2);
+  x[0] = DistanceMap::singleton(0, 0.0);
+  const auto y = mbf_step(g, alg, x, /*weight_scale=*/2.5);
+  EXPECT_DOUBLE_EQ(y[1].at(0), 7.5);
+}
+
+TEST(MbfEngine, FixpointAfterSpdIterations) {
+  auto g = make_path(9);
+  SourceDetectionAlgebra alg;
+  std::vector<DistanceMap> x0(9);
+  x0[0] = DistanceMap::singleton(0, 0.0);
+  auto run = mbf_run(g, alg, std::move(x0), 100);
+  EXPECT_TRUE(run.reached_fixpoint);
+  // Fixpoint detection needs SPD + 1 iterations: 8 productive + 1 check.
+  EXPECT_EQ(run.iterations, 9U);
+  for (Vertex v = 0; v < 9; ++v) {
+    EXPECT_DOUBLE_EQ(run.states[v].at(0), static_cast<double>(v));
+  }
+}
+
+TEST(MbfEngine, IterationBudgetRespected) {
+  auto g = make_path(50);
+  SourceDetectionAlgebra alg;
+  std::vector<DistanceMap> x0(50);
+  x0[0] = DistanceMap::singleton(0, 0.0);
+  auto run = mbf_run(g, alg, std::move(x0), 5);
+  EXPECT_FALSE(run.reached_fixpoint);
+  EXPECT_EQ(run.iterations, 5U);
+  // dist^5 semantics: vertex 7 not reached yet.
+  EXPECT_FALSE(is_finite(run.states[7].at(0)));
+  EXPECT_DOUBLE_EQ(run.states[5].at(0), 5.0);
+}
+
+TEST(MbfEngine, StateSizeMismatchThrows) {
+  auto g = make_path(3);
+  SourceDetectionAlgebra alg;
+  std::vector<DistanceMap> x(2);  // wrong size
+  EXPECT_THROW((void)mbf_step(g, alg, x), std::logic_error);
+}
+
+// Corollary 2.17: r^V A^h x⁽⁰⁾ = (r^V A)^h x⁽⁰⁾ — running with or without
+// intermediate filtering must produce the same *filtered* end state.
+class FilterExchange : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FilterExchange, SourceDetection) {
+  Rng rng(GetParam());
+  auto g = make_gnm(24, 50, {1.0, 4.0}, rng);
+  SourceDetectionAlgebra alg{.k = 3, .max_dist = 9.0};
+  std::vector<DistanceMap> x0(24);
+  for (Vertex s : {0U, 5U, 11U, 17U}) {
+    x0[s] = DistanceMap::singleton(s, 0.0);
+  }
+  const unsigned h = 6;
+  auto filtered = x0;
+  auto raw = x0;
+  for (unsigned i = 0; i < h; ++i) {
+    filtered = mbf_step(g, alg, filtered, 1.0, /*filter=*/true);
+    raw = mbf_step(g, alg, raw, 1.0, /*filter=*/false);
+  }
+  mbf_filter(alg, raw);
+  for (Vertex v = 0; v < 24; ++v) {
+    EXPECT_EQ(filtered[v], raw[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(FilterExchange, LeLists) {
+  Rng rng(GetParam() + 500);
+  auto g = make_gnm(20, 40, {1.0, 3.0}, rng);
+  const auto order = VertexOrder::random(20, rng);
+  const LeListAlgebra alg;
+  auto filtered = le_initial_state(order);
+  auto raw = filtered;
+  const unsigned h = 5;
+  for (unsigned i = 0; i < h; ++i) {
+    filtered = mbf_step(g, alg, filtered, 1.0, true);
+    raw = mbf_step(g, alg, raw, 1.0, false);
+  }
+  mbf_filter(alg, raw);
+  for (Vertex v = 0; v < 20; ++v) {
+    EXPECT_EQ(filtered[v], raw[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterExchange,
+                         ::testing::Values(61, 62, 63, 64, 65, 66, 67, 68));
+
+TEST(MbfEngine, WorkCountersAdvance) {
+  WorkDepth::reset();
+  auto g = make_gnm(30, 60, {1.0, 2.0}, Rng(9));
+  SourceDetectionAlgebra alg;
+  std::vector<DistanceMap> x0(30);
+  x0[0] = DistanceMap::singleton(0, 0.0);
+  const WorkDepthScope scope;
+  (void)mbf_run(g, alg, std::move(x0), 10);
+  EXPECT_GT(scope.work_delta(), 0U);
+  EXPECT_GT(scope.depth_delta(), 0U);
+}
+
+}  // namespace
+}  // namespace pmte

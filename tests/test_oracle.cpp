@@ -1,0 +1,176 @@
+// The oracle equivalence tests (Section 5): simulating an MBF-like
+// algorithm on the *implicit* H through the decomposition of Lemma 5.1
+// must produce exactly what the generic engine computes on the explicitly
+// materialised H.  This validates Lemma 5.1, Equation (5.9) and the
+// intermediate-filtering argument end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/frt/le_lists.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mbf/algebras.hpp"
+#include "src/oracle/mbf_oracle.hpp"
+
+namespace pmte {
+namespace {
+
+SimulatedGraph make_h(const Graph& g, double eps_hat, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto hs = build_exact_hopset(g);  // d = 1 keeps the test exact
+  return build_simulated_graph(g, hs, eps_hat, rng);
+}
+
+class OracleEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleEquivalence, LeListsMatchExplicitH) {
+  Rng rng(GetParam());
+  const auto g = make_gnm(40, 90, {1.0, 4.0}, rng);
+  // ε̂ = 0 keeps all level scales exactly 1.0, so floating-point results
+  // on the implicit and explicit sides are bit-identical.
+  const auto h = make_h(g, 0.0, GetParam() + 1);
+  const auto explicit_h = h.materialize(true);
+  const auto order = VertexOrder::random(40, rng);
+  const LeListAlgebra alg;
+
+  auto via_oracle = oracle_run(h, alg, le_initial_state(order), 64);
+  auto via_engine = mbf_run(explicit_h, alg, le_initial_state(order), 64);
+  ASSERT_TRUE(via_oracle.reached_fixpoint);
+  ASSERT_TRUE(via_engine.reached_fixpoint);
+  for (Vertex v = 0; v < 40; ++v) {
+    EXPECT_EQ(via_oracle.states[v], via_engine.states[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(OracleEquivalence, LeListsMatchWithPenalties) {
+  Rng rng(GetParam() + 50);
+  const auto g = make_gnm(32, 70, {1.0, 3.0}, rng);
+  const double eps = 0.25;
+  const auto h = make_h(g, eps, GetParam() + 51);
+  const auto explicit_h = h.materialize(true);
+  const auto order = VertexOrder::random(32, rng);
+  const LeListAlgebra alg;
+
+  auto via_oracle = oracle_run(h, alg, le_initial_state(order), 64);
+  auto via_engine = mbf_run(explicit_h, alg, le_initial_state(order), 64);
+  ASSERT_TRUE(via_oracle.reached_fixpoint);
+  for (Vertex v = 0; v < 32; ++v) {
+    // Same key sets; distances agree up to FP association differences
+    // (scale·(a+b) vs scale·a + scale·b).
+    ASSERT_EQ(via_oracle.states[v].size(), via_engine.states[v].size())
+        << "vertex " << v;
+    EXPECT_TRUE(approx_equal(via_oracle.states[v], via_engine.states[v], 1e-9))
+        << "vertex " << v;
+  }
+}
+
+TEST_P(OracleEquivalence, SourceDetectionMatchesExplicitH) {
+  Rng rng(GetParam() + 100);
+  const auto g = make_gnm(36, 80, {1.0, 5.0}, rng);
+  const auto h = make_h(g, 0.0, GetParam() + 101);
+  const auto explicit_h = h.materialize(true);
+  SourceDetectionAlgebra alg{.k = 4, .max_dist = inf_weight()};
+  std::vector<DistanceMap> x0(36);
+  for (Vertex s : {0U, 9U, 20U, 33U}) x0[s] = DistanceMap::singleton(s, 0.0);
+
+  auto via_oracle = oracle_run(h, alg, x0, 64);
+  auto via_engine = mbf_run(explicit_h, alg, x0, 64);
+  ASSERT_TRUE(via_oracle.reached_fixpoint);
+  for (Vertex v = 0; v < 36; ++v) {
+    EXPECT_EQ(via_oracle.states[v], via_engine.states[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleEquivalence,
+                         ::testing::Values(401, 402, 403, 404, 405));
+
+TEST(Oracle, ForestFireOnHMatchesExplicit) {
+  // Section 9 queries the oracle with the forest-fire algebra to compute
+  // dist(·, S, H) during candidate sampling — exercise that combination.
+  Rng rng(21);
+  const auto g = make_gnm(30, 64, {1.0, 3.0}, rng);
+  const auto h = make_h(g, 0.0, 22);
+  const auto explicit_h = h.materialize(true);
+  ScalarDistanceAlgebra alg;  // unbounded radius
+  std::vector<Weight> x0(30, inf_weight());
+  x0[4] = 0.0;
+  x0[17] = 0.0;
+  auto via_oracle = oracle_run(h, alg, x0, 64);
+  auto via_engine = mbf_run(explicit_h, alg, x0, 64);
+  ASSERT_TRUE(via_oracle.reached_fixpoint);
+  for (Vertex v = 0; v < 30; ++v) {
+    EXPECT_DOUBLE_EQ(via_oracle.states[v], via_engine.states[v])
+        << "vertex " << v;
+  }
+}
+
+TEST(Oracle, HopBoundGreaterThanOne) {
+  // A hub hop set with a real window: the oracle must still match the
+  // explicit H built from true d-hop distances.  Integer weights keep the
+  // two sides' sums bit-identical: multi-hop H-paths associate additions
+  // differently (whole-shortcut sums vs per-edge accumulation).
+  Rng rng(7);
+  auto g = make_path(48);
+  {
+    auto edges = g.edge_list();
+    for (auto& e : edges) e.weight = std::floor(rng.uniform(1.0, 4.0));
+    g = Graph::from_edges(48, std::move(edges));
+  }
+  HubHopSetParams params;
+  params.window = 4;
+  const auto hs = build_hub_hopset(g, params, rng);
+  const auto h = build_simulated_graph(g, hs, 0.0, rng);
+  const auto explicit_h = h.materialize(true);  // d-hop Bellman-Ford
+  const auto order = VertexOrder::random(48, rng);
+  const LeListAlgebra alg;
+  auto via_oracle = oracle_run(h, alg, le_initial_state(order), 128);
+  auto via_engine = mbf_run(explicit_h, alg, le_initial_state(order), 128);
+  ASSERT_TRUE(via_oracle.reached_fixpoint);
+  for (Vertex v = 0; v < 48; ++v) {
+    EXPECT_EQ(via_oracle.states[v], via_engine.states[v]) << "vertex " << v;
+  }
+}
+
+TEST(Oracle, StatsAreAccounted) {
+  Rng rng(8);
+  const auto g = make_gnm(24, 50, {1.0, 2.0}, rng);
+  const auto h = make_h(g, 0.0, 9);
+  const LeListAlgebra alg;
+  const auto order = VertexOrder::random(24, rng);
+  OracleStats stats;
+  (void)oracle_run(h, alg, le_initial_state(order), 64, &stats);
+  EXPECT_TRUE(stats.reached_fixpoint);
+  EXPECT_GT(stats.h_iterations, 0U);
+  // Each H-iteration runs at most d·(Λ+1) iterations on G' (per-level
+  // fixpoints may terminate a level early) and at least one per level.
+  EXPECT_LE(stats.base_iterations,
+            stats.h_iterations * h.hop_bound() * (h.max_level() + 1));
+  EXPECT_GE(stats.base_iterations,
+            stats.h_iterations * (h.max_level() + 1));
+}
+
+TEST(Oracle, FixpointIsFastOnHighSpdGraph) {
+  // SPD(G) = n−1 would force Θ(n) direct iterations; the oracle needs
+  // O(log² n) H-iterations (Theorem 4.5 + Theorem 5.2).
+  Rng rng(10);
+  const Vertex n = 200;
+  const auto g = make_path(n);
+  const auto hs = build_hub_hopset(g, {}, rng);
+  const auto h = build_simulated_graph(g, hs, 1.0 / std::log2(n), rng);
+  const LeListAlgebra alg;
+  const auto order = VertexOrder::random(n, rng);
+  OracleStats stats;
+  auto run = oracle_run(h, alg, le_initial_state(order), 256, &stats);
+  EXPECT_TRUE(stats.reached_fixpoint);
+  const double log2n = std::log2(static_cast<double>(n));
+  EXPECT_LE(stats.h_iterations,
+            static_cast<unsigned>(4.0 * log2n * log2n));
+  // Direct iteration on G by comparison: the rank-0 entry must traverse at
+  // least half the path before the lists can stabilise.
+  auto direct = le_lists_iteration(g, order);
+  EXPECT_GE(direct.iterations, n / 2 - 4);
+  (void)run;
+}
+
+}  // namespace
+}  // namespace pmte

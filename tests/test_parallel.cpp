@@ -1,0 +1,67 @@
+// Tests for the OpenMP helpers and work/depth instrumentation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/parallel/counters.hpp"
+#include "src/parallel/parallel.hpp"
+
+namespace pmte {
+namespace {
+
+TEST(Parallel, ForCoversEveryIndexOnce) {
+  const std::size_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ForHandlesSmallRangesSerially) {
+  int count = 0;  // intentionally unsynchronised: small ranges run serially
+  parallel_for(10, [&](std::size_t) { ++count; }, 64);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Parallel, ReduceSum) {
+  const double s =
+      parallel_reduce_sum(1000, [](std::size_t i) { return double(i); });
+  EXPECT_DOUBLE_EQ(s, 999.0 * 1000.0 / 2.0);
+}
+
+TEST(Parallel, ReduceMax) {
+  const double m = parallel_reduce_max(
+      512, [](std::size_t i) { return i == 77 ? 1e9 : double(i); });
+  EXPECT_DOUBLE_EQ(m, 1e9);
+}
+
+TEST(Parallel, ThreadCountControls) {
+  const int before = num_threads();
+  EXPECT_GE(before, 1);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(before);
+  EXPECT_EQ(num_threads(), before);
+}
+
+TEST(WorkDepthCounters, AccumulateAcrossThreads) {
+  WorkDepth::reset();
+  parallel_for(1000, [](std::size_t) { WorkDepth::add_work(3); });
+  EXPECT_EQ(WorkDepth::work(), 3000U);
+  WorkDepth::add_depth(5);
+  EXPECT_EQ(WorkDepth::depth(), 5U);
+}
+
+TEST(WorkDepthCounters, ScopeMeasuresDeltas) {
+  WorkDepth::reset();
+  WorkDepth::add_work(100);
+  const WorkDepthScope scope;
+  WorkDepth::add_work(42);
+  WorkDepth::add_depth(2);
+  EXPECT_EQ(scope.work_delta(), 42U);
+  EXPECT_EQ(scope.depth_delta(), 2U);
+}
+
+}  // namespace
+}  // namespace pmte

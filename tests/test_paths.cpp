@@ -1,0 +1,81 @@
+// Tests for path unfolding (Section 7.5): every tree edge maps to a real
+// walk in G whose weight respects the 3·ω_T(e) bound.
+#include <gtest/gtest.h>
+
+#include "src/frt/paths.hpp"
+#include "src/frt/pipelines.hpp"
+#include "src/graph/generators.hpp"
+
+namespace pmte {
+namespace {
+
+class Unfolding : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Unfolding, PathsAreValidWalks) {
+  Rng rng(GetParam());
+  const auto g = make_gnm(36, 80, {1.0, 5.0}, rng);
+  const auto sample = sample_frt_direct(g, rng);
+  PathUnfolder unfolder(g, sample.tree);
+  for (FrtTree::NodeId id = 0; id < sample.tree.num_nodes(); ++id) {
+    const auto& nd = sample.tree.node(id);
+    if (nd.parent == FrtTree::invalid_node) continue;
+    const auto u = unfolder.unfold(id);
+    ASSERT_FALSE(u.path.empty());
+    // Endpoints are the leading vertices of parent and child.
+    EXPECT_EQ(u.path.front(), sample.tree.node(nd.parent).leading);
+    EXPECT_EQ(u.path.back(), nd.leading);
+    // Consecutive path vertices are joined by edges; weights add up.
+    Weight total = 0.0;
+    for (std::size_t i = 1; i < u.path.size(); ++i) {
+      const Weight w = g.edge_weight(u.path[i - 1], u.path[i]);
+      ASSERT_TRUE(is_finite(w)) << "non-edge on unfolded path";
+      total += w;
+    }
+    EXPECT_NEAR(total, u.weight, 1e-9);
+  }
+}
+
+TEST_P(Unfolding, WeightWithinPaperBound) {
+  // dist(v0, v_i) + dist(v0, v_{i+1}) ≤ β2^i + β2^{i+1} = 3·β2^i; with the
+  // dominating rule ω_T(e) = β2^{i+1}, so the walk weighs ≤ 1.5·ω_T(e).
+  Rng rng(GetParam() + 10);
+  const auto g = make_grid(6, 6, {1.0, 2.0}, rng);
+  const auto sample = sample_frt_direct(g, rng);
+  PathUnfolder unfolder(g, sample.tree);
+  for (FrtTree::NodeId id = 0; id < sample.tree.num_nodes(); ++id) {
+    const auto& nd = sample.tree.node(id);
+    if (nd.parent == FrtTree::invalid_node) continue;
+    const auto u = unfolder.unfold(id);
+    EXPECT_LE(u.weight, 1.5 * nd.parent_edge + 1e-9)
+        << "tree edge at level " << nd.level;
+  }
+}
+
+TEST_P(Unfolding, DijkstraCacheIsShared) {
+  Rng rng(GetParam() + 20);
+  const auto g = make_gnm(30, 70, {1.0, 2.0}, rng);
+  const auto sample = sample_frt_direct(g, rng);
+  PathUnfolder unfolder(g, sample.tree);
+  std::size_t edges = 0;
+  for (FrtTree::NodeId id = 0; id < sample.tree.num_nodes(); ++id) {
+    if (sample.tree.node(id).parent == FrtTree::invalid_node) continue;
+    (void)unfolder.unfold(id);
+    ++edges;
+  }
+  // One Dijkstra per distinct representative leaf, never per edge.
+  EXPECT_LT(unfolder.dijkstra_runs(), edges);
+  EXPECT_LE(unfolder.dijkstra_runs(), g.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Unfolding, ::testing::Values(701, 702, 703));
+
+TEST(Unfolding, RootHasNoParentEdge) {
+  Rng rng(1);
+  const auto g = make_path(8);
+  const auto sample = sample_frt_direct(g, rng);
+  PathUnfolder unfolder(g, sample.tree);
+  EXPECT_THROW((void)unfolder.unfold(sample.tree.root()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pmte

@@ -1,0 +1,117 @@
+// Tests for LE-list distance sketches (src/apps/distance_sketches).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/apps/distance_sketches.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/shortest_paths.hpp"
+
+namespace pmte {
+namespace {
+
+class Sketches : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Sketches, EstimatesAreUpperBoundsAndFinite) {
+  Rng rng(GetParam());
+  const auto g = make_gnm(60, 150, {1.0, 5.0}, rng);
+  const auto sk = DistanceSketches::build(g, 4, rng);
+  const auto apsp = exact_apsp(g);
+  for (Vertex u = 0; u < 60; u += 7) {
+    for (Vertex v = 0; v < 60; v += 5) {
+      const Weight est = sk.query(u, v);
+      const Weight exact = apsp[static_cast<std::size_t>(u) * 60 + v];
+      if (u == v) {
+        EXPECT_DOUBLE_EQ(est, 0.0);
+        continue;
+      }
+      EXPECT_TRUE(is_finite(est)) << "rank-0 vertex is in every list";
+      EXPECT_GE(est, exact - 1e-9) << "sketch underestimated";
+      // Symmetric by construction.
+      EXPECT_DOUBLE_EQ(est, sk.query(v, u));
+    }
+  }
+}
+
+TEST_P(Sketches, MorePermutationsNeverHurt) {
+  Rng rng(GetParam() + 10);
+  const auto g = make_grid(8, 8, {1.0, 3.0}, rng);
+  // Build 1-permutation and 6-permutation sketches from the same stream:
+  // the larger sketch contains more chances to hit a good common vertex.
+  Rng r1(GetParam() + 11), r2(GetParam() + 11);
+  const auto small = DistanceSketches::build(g, 1, r1);
+  const auto large = DistanceSketches::build(g, 6, r2);
+  const auto apsp = exact_apsp(g);
+  double err_small = 0.0, err_large = 0.0;
+  std::size_t pairs = 0;
+  for (Vertex u = 0; u < 64; u += 3) {
+    for (Vertex v = u + 1; v < 64; v += 5) {
+      const Weight exact = apsp[static_cast<std::size_t>(u) * 64 + v];
+      err_small += small.query(u, v) / exact;
+      err_large += large.query(u, v) / exact;
+      ++pairs;
+    }
+  }
+  EXPECT_LE(err_large / static_cast<double>(pairs),
+            err_small / static_cast<double>(pairs) + 1e-9);
+}
+
+TEST_P(Sketches, StretchStaysModerate) {
+  // LE-list sketches give O(log n)-ish multiplicative error in practice.
+  Rng rng(GetParam() + 20);
+  const auto g = make_gnm(100, 260, {1.0, 4.0}, rng);
+  const auto sk = DistanceSketches::build(g, 6, rng);
+  const auto apsp = exact_apsp(g);
+  double worst = 1.0;
+  for (Vertex u = 0; u < 100; u += 3) {
+    for (Vertex v = u + 1; v < 100; v += 7) {
+      const Weight exact = apsp[static_cast<std::size_t>(u) * 100 + v];
+      worst = std::max(worst, sk.query(u, v) / exact);
+    }
+  }
+  EXPECT_LE(worst, 30.0);  // generous non-flaky envelope (log2 n ≈ 6.6)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sketches,
+                         ::testing::Values(1401, 1402, 1403));
+
+TEST(Sketches, SizeIsLogarithmicPerPermutation) {
+  Rng rng(1);
+  const auto g = make_gnm(400, 1200, {1.0, 2.0}, rng);
+  const auto sk = DistanceSketches::build(g, 3, rng);
+  // 3 permutations × ~ln(400) ≈ 18 entries expected.
+  EXPECT_LT(sk.average_entries_per_vertex(),
+            3.0 * 3.0 * std::log(400.0));
+  EXPECT_EQ(sk.permutations(), 3U);
+}
+
+TEST(Sketches, RejectsBadInput) {
+  Rng rng(2);
+  const auto g = make_path(5);
+  EXPECT_THROW((void)DistanceSketches::build(g, 0, rng), std::logic_error);
+  const auto sk = DistanceSketches::build(g, 1, rng);
+  EXPECT_THROW((void)sk.query(0, 9), std::logic_error);
+  EXPECT_THROW((void)DistanceSketches::from_lists({}, 5), std::logic_error);
+}
+
+TEST(Sketches, WorksWithOraclePipelineLists) {
+  // The sketches can be built from any LE-list pipeline, including the
+  // oracle pipeline on H — distances are then H-distances (≥ G-distances).
+  Rng rng(3);
+  const auto g = make_gnm(40, 90, {1.0, 3.0}, rng);
+  const auto hopset = build_hub_hopset(g, {}, rng);
+  const auto h = build_simulated_graph(g, hopset, 0.02, rng);
+  std::vector<LeListsResult> runs;
+  for (int t = 0; t < 2; ++t) {
+    const auto order = VertexOrder::random(40, rng);
+    runs.push_back(le_lists_oracle(h, order));
+  }
+  const auto sk = DistanceSketches::from_lists(std::move(runs), 40);
+  const auto exact = dijkstra(g, 0).dist;
+  for (Vertex v = 1; v < 40; ++v) {
+    EXPECT_GE(sk.query(0, v), exact[v] - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pmte
