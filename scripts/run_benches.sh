@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Run the experiment benches and emit one BENCH_<name>.json per binary.
+#
+# Usage:
+#   scripts/run_benches.sh [--build-dir=build] [--out-dir=.] \
+#                          [--scale=small|full] [--filter=REGEX]
+#
+# Each BENCH_<name>.json records the bench name, scale, exit code, wall
+# time, and the full (markdown-table) stdout, so the benchmark trajectory
+# across PRs can be diffed mechanically.  bench_micro_ops speaks
+# google-benchmark and additionally embeds that library's native JSON
+# report under .google_benchmark.
+
+set -u -o pipefail
+
+# Numeric formatting (awk %.3f, jq --argjson) must use '.' decimals
+# regardless of the caller's locale.
+export LC_ALL=C
+
+BUILD_DIR=build
+OUT_DIR=.
+SCALE=small
+FILTER=.
+
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --out-dir=*)   OUT_DIR="${arg#*=}" ;;
+    --scale=*)     SCALE="${arg#*=}" ;;
+    --filter=*)    FILTER="${arg#*=}" ;;
+    -h|--help)     sed -n '2,12p' "$0"; exit 0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v jq >/dev/null; then
+  echo "run_benches.sh: jq is required to assemble the JSON reports" >&2
+  exit 1
+fi
+
+BENCH_DIR="$BUILD_DIR/bench"
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "run_benches.sh: $BENCH_DIR not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target benches" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+failures=0
+ran=0
+
+for bin in "$BENCH_DIR"/bench_*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "$name" | grep -Eq "$FILTER" || continue
+  ran=$((ran + 1))
+
+  out_file="$OUT_DIR/BENCH_${name#bench_}.json"
+  tmp_out="$(mktemp)"
+  gb_json="$(mktemp)"
+
+  echo "== $name (scale=$SCALE) =="
+  start_s="$(date +%s.%N)"
+  if [ "$name" = "bench_micro_ops" ]; then
+    # google-benchmark binary: native JSON report, no --scale flag.
+    "$bin" --benchmark_format=json >"$gb_json" 2>"$tmp_out"
+    status=$?
+  else
+    "$bin" --scale="$SCALE" >"$tmp_out" 2>&1
+    status=$?
+    echo '{}' >"$gb_json"
+  fi
+  end_s="$(date +%s.%N)"
+  seconds="$(echo "$end_s $start_s" | awk '{printf "%.3f", $1 - $2}')"
+
+  jq -n \
+    --arg bench "$name" \
+    --arg scale "$SCALE" \
+    --argjson exit_code "$status" \
+    --argjson seconds "$seconds" \
+    --rawfile output "$tmp_out" \
+    --slurpfile gb "$gb_json" \
+    '{bench: $bench, scale: $scale, exit_code: $exit_code,
+      seconds: $seconds, output: $output}
+     + (if ($gb[0] | length) > 0 then {google_benchmark: $gb[0]} else {} end)' \
+    >"$out_file"
+  if [ $? -ne 0 ]; then
+    echo "   FAILED to assemble $out_file" >&2
+    status=1
+  fi
+
+  rm -f "$tmp_out" "$gb_json"
+  if [ "$status" -ne 0 ]; then
+    echo "   FAILED (exit $status) — see $out_file" >&2
+    failures=$((failures + 1))
+  else
+    echo "   ok (${seconds}s) -> $out_file"
+  fi
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "run_benches.sh: no bench binaries matched filter '$FILTER'" >&2
+  exit 1
+fi
+
+echo
+echo "ran $ran benches, $failures failed"
+exit "$((failures > 0))"
