@@ -4,7 +4,9 @@
 #include "bench/bench_common.hpp"
 #include "src/graph/delta_stepping.hpp"
 #include "src/graph/shortest_paths.hpp"
+#include "src/mbf/algebras.hpp"
 #include "src/mbf/algorithms.hpp"
+#include "src/mbf/engine.hpp"
 
 namespace pmte::bench {
 namespace {
@@ -99,6 +101,36 @@ void run(const Cli& cli) {
     });
   }
   t.print();
+
+  // Frontier vs dense engine on long-diameter families, where re-scanning
+  // all 2m edges for Θ(n) rounds is maximally wasteful: the changed set is
+  // a narrow wavefront, so the frontier engine relaxes asymptotically
+  // fewer edges (the counters are deterministic — the same numbers gate CI
+  // via bench_micro_ops --counters).
+  Table f({"family", "n", "engine", "time [ms]", "relaxations",
+           "edges touched", "iterations"});
+  auto engine_row = [&](const Instance& inst, MbfMode mode,
+                        const char* label) {
+    ScalarDistanceAlgebra alg;
+    std::vector<Weight> x0(inst.graph.num_vertices(), inf_weight());
+    x0[0] = 0.0;
+    const WorkDepthScope scope;
+    const Timer timer;
+    const auto r = mbf_run(inst.graph, alg, std::move(x0),
+                           inst.graph.num_vertices(), 1.0, mode);
+    f.add_row({inst.name, cell(std::size_t{inst.graph.num_vertices()}),
+               label, cell(timer.millis()),
+               cell(static_cast<std::size_t>(scope.relaxations_delta())),
+               cell(static_cast<std::size_t>(scope.edges_touched_delta())),
+               cell(r.iterations)});
+  };
+  const Vertex n_sparse = quick(cli) ? 2048 : 8192;
+  for (const char* family : {"path", "grid"}) {
+    const auto inst = make_instance(family, n_sparse, 7);
+    engine_row(inst, MbfMode::kDense, "dense");
+    engine_row(inst, MbfMode::kAuto, "frontier");
+  }
+  f.print();
 }
 
 }  // namespace

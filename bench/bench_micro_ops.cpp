@@ -1,15 +1,136 @@
-// E13 — micro-benchmarks (google-benchmark) of the semimodule primitives:
-// aggregation merges (Lemma 2.3), the LE filter (Lemma 7.7), the
-// k-smallest filter, and path-set products.
+// E13 — micro-benchmarks of the semimodule primitives, plus the
+// deterministic counter harness behind the CI bench gate.
+//
+// Two modes:
+//   * `--counters` prints the WorkDepth counters (relaxations, edges
+//     touched, work, depth, iterations) of fixed-seed MBF engine runs as
+//     JSON.  The counts are logical-operation counts — identical across
+//     thread counts, compilers, and machines — so scripts/
+//     check_bench_regression.py can hard-fail CI on any >5% regression
+//     against the committed BENCH_micro_ops.json baseline.
+//   * default: google-benchmark timings of aggregation merges (Lemma 2.3),
+//     the LE filter (Lemma 7.7), the k-smallest filter, and path-set
+//     products.  Compiled only when the library is available
+//     (PMTE_HAVE_GOOGLE_BENCHMARK); without it the default mode emits `{}`
+//     so scripts/run_benches.sh still gets valid JSON.
 
-#include <benchmark/benchmark.h>
+#include <cstring>
+#include <iostream>
+#include <string>
 
 #include "src/algebra/distance_map.hpp"
 #include "src/algebra/path_set.hpp"
+#include "src/frt/le_lists.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mbf/algebras.hpp"
+#include "src/mbf/engine.hpp"
 #include "src/util/rng.hpp"
+
+#ifdef PMTE_HAVE_GOOGLE_BENCHMARK
+#include <benchmark/benchmark.h>
+#endif
 
 namespace pmte {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic counter scenarios (the CI gate).
+
+struct CounterReport {
+  std::string name;
+  std::uint64_t relaxations;
+  std::uint64_t edges_touched;
+  std::uint64_t work;
+  std::uint64_t depth;
+  unsigned iterations;
+};
+
+template <MbfAlgebra Algebra>
+CounterReport run_scenario(const std::string& name, const Graph& g,
+                           const Algebra& alg,
+                           std::vector<typename Algebra::State> x0,
+                           MbfMode mode) {
+  WorkDepth::reset();
+  const WorkDepthScope scope;
+  const auto run = mbf_run(g, alg, std::move(x0), g.num_vertices(), 1.0, mode);
+  return CounterReport{name,
+                       scope.relaxations_delta(),
+                       scope.edges_touched_delta(),
+                       scope.work_delta(),
+                       scope.depth_delta(),
+                       run.iterations};
+}
+
+void emit_counters(std::ostream& os) {
+  std::vector<CounterReport> reports;
+
+  // Scalar SSSP on a long path — SPD = n−1, the dense engine's worst case
+  // and the frontier's best.
+  {
+    const Vertex n = 2048;
+    const auto g = make_path(n);
+    ScalarDistanceAlgebra alg;
+    std::vector<Weight> x0(n, inf_weight());
+    x0[0] = 0.0;
+    reports.push_back(
+        run_scenario("sssp_path_dense", g, alg, x0, MbfMode::kDense));
+    reports.push_back(
+        run_scenario("sssp_path_frontier", g, alg, x0, MbfMode::kAuto));
+  }
+
+  // Scalar SSSP on a weighted grid — a 2D wavefront.
+  {
+    const auto g = make_grid(48, 48, {1.0, 2.0}, Rng(42));
+    ScalarDistanceAlgebra alg;
+    std::vector<Weight> x0(g.num_vertices(), inf_weight());
+    x0[0] = 0.0;
+    reports.push_back(
+        run_scenario("sssp_grid_dense", g, alg, x0, MbfMode::kDense));
+    reports.push_back(
+        run_scenario("sssp_grid_frontier", g, alg, x0, MbfMode::kAuto));
+  }
+
+  // LE lists on a low-diameter ER graph — the frontier stays broad for a
+  // few rounds, exercising the dense-fallback threshold.
+  {
+    Rng rng(7);
+    const auto g = make_gnm(512, 1536, {1.0, 4.0}, rng);
+    const auto order = VertexOrder::random(g.num_vertices(), rng);
+    const LeListAlgebra alg;
+    reports.push_back(run_scenario("le_lists_gnm_frontier", g, alg,
+                                   le_initial_state(order), MbfMode::kAuto));
+  }
+
+  // Source detection on a star — one round of fan-out, then collapse.
+  {
+    Rng rng(9);
+    const auto g = make_star(2048, {1.0, 5.0}, rng);
+    SourceDetectionAlgebra alg{.k = 4, .max_dist = inf_weight()};
+    std::vector<DistanceMap> x0(g.num_vertices());
+    for (Vertex s : {0U, 17U, 511U, 1999U}) {
+      x0[s] = DistanceMap::singleton(s, 0.0);
+    }
+    reports.push_back(run_scenario("source_detection_star_frontier", g, alg,
+                                   std::move(x0), MbfMode::kAuto));
+  }
+
+  os << "{\n  \"schema\": 1,\n  \"scenarios\": {\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    os << "    \"" << r.name << "\": {"
+       << "\"relaxations\": " << r.relaxations
+       << ", \"edges_touched\": " << r.edges_touched
+       << ", \"work\": " << r.work << ", \"depth\": " << r.depth
+       << ", \"iterations\": " << r.iterations << "}"
+       << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark timings.
+
+#ifdef PMTE_HAVE_GOOGLE_BENCHMARK
 
 DistanceMap random_map(Rng& rng, Vertex key_range, std::size_t entries) {
   std::vector<DistEntry> es;
@@ -79,7 +200,46 @@ void BM_PathSetTimes(benchmark::State& state) {
 }
 BENCHMARK(BM_PathSetTimes);
 
+void BM_MbfFrontierStep(benchmark::State& state) {
+  // One fixpoint run per iteration: allocation-free steady state via
+  // engine reset, dominated by the frontier machinery itself.
+  const auto g = make_grid(32, 32, {1.0, 2.0}, Rng(5));
+  ScalarDistanceAlgebra alg;
+  MbfEngine<ScalarDistanceAlgebra> engine(g, alg);
+  std::vector<Weight> x0(g.num_vertices(), inf_weight());
+  x0[0] = 0.0;
+  for (auto _ : state) {
+    engine.reset(x0);
+    while (engine.step()) {
+    }
+    benchmark::DoNotOptimize(engine.states().data());
+  }
+}
+BENCHMARK(BM_MbfFrontierStep);
+
+#endif  // PMTE_HAVE_GOOGLE_BENCHMARK
+
 }  // namespace
 }  // namespace pmte
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--counters") == 0) {
+      pmte::emit_counters(std::cout);
+      return 0;
+    }
+  }
+#ifdef PMTE_HAVE_GOOGLE_BENCHMARK
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  // Keep run_benches.sh's JSON assembly happy without google-benchmark.
+  std::cerr << "bench_micro_ops: built without google-benchmark; only "
+               "--counters is available\n";
+  std::cout << "{}\n";
+  return 0;
+#endif
+}

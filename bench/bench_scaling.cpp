@@ -31,12 +31,13 @@ void run(const Cli& cli) {
   const auto g_frt = make_instance("gnm", n_frt, 123).graph;
   for (int threads = 1; threads <= max_threads; ++threads) {
     set_num_threads(threads);
-    // Phase 1: the memory/allocation-bound semimodule merges.
+    // Phase 1: the memory/allocation-bound semimodule merges, through the
+    // double-buffered frontier engine (steady-state allocation-free).
     const LeListAlgebra alg;
-    auto x = le_initial_state(order);
+    MbfEngine<LeListAlgebra> engine(g, alg, le_initial_state(order));
     const Timer t_iter;
     for (int i = 0; i < 5; ++i) {
-      x = mbf_step(g, alg, x, 1.0, true);
+      (void)engine.step();
     }
     const double iter_ms = t_iter.millis();
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff deterministic WorkDepth counters against the committed baseline.
+
+The MBF engine counts relaxations, edges touched, semiring work, and depth
+as logical operations, so `bench_micro_ops --counters` produces the exact
+same numbers on every machine, compiler, and thread count.  That makes a
+hard CI gate possible: any scenario whose counter grows by more than
+--tolerance (default 5%) over the committed baseline fails the build — no
+noise margins, no flaky timing thresholds.
+
+Usage:
+  scripts/check_bench_regression.py \
+      --baseline BENCH_micro_ops.json \
+      --current  bench-out/BENCH_micro_ops.json \
+      [--tolerance 0.05]
+
+Both files may be either the raw `--counters` output
+({"schema": 1, "scenarios": {...}}) or a scripts/run_benches.sh wrapper
+that embeds it under the "counters" key.
+
+Exit status: 0 = within tolerance, 1 = regression (or malformed input).
+After an intentional algorithmic change, regenerate the baseline with
+  build/bench/bench_micro_ops --counters   (see scripts/run_benches.sh)
+and commit the updated BENCH_micro_ops.json.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_METRICS = ("relaxations", "edges_touched", "work", "depth",
+                 "iterations")
+
+
+def load_scenarios(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "counters" in doc:  # run_benches.sh wrapper
+        doc = doc["counters"]
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise ValueError(f"{path}: no counter scenarios found "
+                         "(expected .scenarios or .counters.scenarios)")
+    return scenarios
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (e.g. BENCH_micro_ops.json)")
+    ap.add_argument("--current", required=True,
+                    help="freshly produced counters JSON")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="maximum allowed relative growth per counter "
+                         "(default 0.05 = 5%%)")
+    args = ap.parse_args()
+
+    try:
+        baseline = load_scenarios(args.baseline)
+        current = load_scenarios(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    regressions = []
+    improvements = []
+    for name, base_metrics in sorted(baseline.items()):
+        cur_metrics = current.get(name)
+        if cur_metrics is None:
+            regressions.append(f"{name}: scenario missing from current run")
+            continue
+        for metric in GATED_METRICS:
+            if metric not in base_metrics:
+                continue
+            base = base_metrics[metric]
+            cur = cur_metrics.get(metric)
+            if cur is None:
+                regressions.append(f"{name}.{metric}: missing from current run")
+                continue
+            limit = base * (1.0 + args.tolerance)
+            if cur > limit:
+                pct = 100.0 * (cur - base) / base if base else float("inf")
+                regressions.append(
+                    f"{name}.{metric}: {base} -> {cur} (+{pct:.1f}%, "
+                    f"limit +{100.0 * args.tolerance:.1f}%)")
+            elif cur < base:
+                pct = 100.0 * (base - cur) / base
+                improvements.append(
+                    f"{name}.{metric}: {base} -> {cur} (-{pct:.1f}%)")
+
+    new_scenarios = sorted(set(current) - set(baseline))
+    if new_scenarios:
+        print("note: scenarios not in baseline (add them by regenerating "
+              f"the baseline): {', '.join(new_scenarios)}")
+    for line in improvements:
+        print(f"improved: {line}")
+    if regressions:
+        print(f"\n{len(regressions)} counter regression(s) beyond "
+              f"{100.0 * args.tolerance:.1f}%:", file=sys.stderr)
+        for line in regressions:
+            print(f"  REGRESSION {line}", file=sys.stderr)
+        print("\nIf the growth is an intentional algorithmic change, "
+              "regenerate and commit the baseline "
+              "(bench_micro_ops --counters).", file=sys.stderr)
+        return 1
+    print(f"bench gate OK: {len(baseline)} scenarios within "
+          f"{100.0 * args.tolerance:.1f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,11 @@
 #
 # Each BENCH_<name>.json records the bench name, scale, exit code, wall
 # time, and the full (markdown-table) stdout, so the benchmark trajectory
-# across PRs can be diffed mechanically.  bench_micro_ops speaks
-# google-benchmark and additionally embeds that library's native JSON
-# report under .google_benchmark.
+# across PRs can be diffed mechanically.  bench_micro_ops additionally
+# embeds its deterministic WorkDepth counter report under .counters (the
+# CI bench-gate baseline, see scripts/check_bench_regression.py) and — when
+# built with google-benchmark — that library's native JSON report under
+# .google_benchmark.
 
 set -u -o pipefail
 
@@ -58,17 +60,27 @@ for bin in "$BENCH_DIR"/bench_*; do
   out_file="$OUT_DIR/BENCH_${name#bench_}.json"
   tmp_out="$(mktemp)"
   gb_json="$(mktemp)"
+  ctr_json="$(mktemp)"
 
   echo "== $name (scale=$SCALE) =="
   start_s="$(date +%s.%N)"
   if [ "$name" = "bench_micro_ops" ]; then
-    # google-benchmark binary: native JSON report, no --scale flag.
-    "$bin" --benchmark_format=json >"$gb_json" 2>"$tmp_out"
+    # Deterministic counter report first (the CI gate baseline), then the
+    # google-benchmark timings (the binary prints {} when built without
+    # the library); no --scale flag.
+    "$bin" --counters >"$ctr_json" 2>"$tmp_out"
     status=$?
+    if [ $status -eq 0 ]; then
+      "$bin" --benchmark_format=json >"$gb_json" 2>>"$tmp_out"
+      status=$?
+    else
+      echo '{}' >"$gb_json"
+    fi
   else
     "$bin" --scale="$SCALE" >"$tmp_out" 2>&1
     status=$?
     echo '{}' >"$gb_json"
+    echo '{}' >"$ctr_json"
   fi
   end_s="$(date +%s.%N)"
   seconds="$(echo "$end_s $start_s" | awk '{printf "%.3f", $1 - $2}')"
@@ -80,8 +92,10 @@ for bin in "$BENCH_DIR"/bench_*; do
     --argjson seconds "$seconds" \
     --rawfile output "$tmp_out" \
     --slurpfile gb "$gb_json" \
+    --slurpfile ctr "$ctr_json" \
     '{bench: $bench, scale: $scale, exit_code: $exit_code,
       seconds: $seconds, output: $output}
+     + (if ($ctr[0] | length) > 0 then {counters: $ctr[0]} else {} end)
      + (if ($gb[0] | length) > 0 then {google_benchmark: $gb[0]} else {} end)' \
     >"$out_file"
   if [ $? -ne 0 ]; then
@@ -89,7 +103,7 @@ for bin in "$BENCH_DIR"/bench_*; do
     status=1
   fi
 
-  rm -f "$tmp_out" "$gb_json"
+  rm -f "$tmp_out" "$gb_json" "$ctr_json"
   if [ "$status" -ne 0 ]; then
     echo "   FAILED (exit $status) — see $out_file" >&2
     failures=$((failures + 1))

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/graph/shortest_paths.hpp"
+#include "src/mbf/algorithms.hpp"
 #include "src/parallel/parallel.hpp"
 #include "src/spanner/baswana_sen.hpp"
 #include "src/util/assertions.hpp"
@@ -47,26 +48,20 @@ CongestRun congest_frt_khan(const Graph& g, const VertexOrder& order) {
   CongestRun run;
   run.embedding_stretch = 1.0;
   const LeListAlgebra alg;
-  auto x = le_initial_state(order);
-  mbf_filter(alg, x);
+  MbfEngine<LeListAlgebra> engine(g, alg, le_initial_state(order));
   const unsigned cap = std::max<unsigned>(1, g.num_vertices());
   for (unsigned i = 0; i < cap; ++i) {
     // Every vertex transmits its current list over each incident edge; the
     // per-edge pipeline makes an iteration cost max_v |x_v| rounds.
-    run.rounds_iterations += max_list_size(x);
-    auto next = mbf_step(g, alg, x, 1.0, true);
+    run.rounds_iterations += max_list_size(engine.states());
+    const bool changed = engine.step();
     ++run.le.iterations;
-    bool same = true;
-    for (Vertex v = 0; v < g.num_vertices() && same; ++v) {
-      same = alg.equal(next[v], x[v]);
-    }
-    x = std::move(next);
-    if (same) {
+    if (!changed) {
       run.le.converged = true;
       break;
     }
   }
-  run.le.lists = std::move(x);
+  run.le.lists = engine.take_states();
   run.rounds = run.rounds_setup + run.rounds_iterations;
   return run;
 }
@@ -101,11 +96,12 @@ SkeletonRun congest_frt_skeleton(const Graph& g, const SkeletonOptions& opts,
   const unsigned diam = hop_diameter_estimate(g);
   run.rounds_setup += diam + 1;
 
-  // Skeleton graph: ℓ-hop distances between skeleton vertices.  Round cost
+  // Skeleton graph: ℓ-hop distances between skeleton vertices, via the
+  // frontier-driven engine (dist^ℓ = ℓ scalar MBF iterations).  Round cost
   // per the partial-distance-estimation routine of [31]: Õ(ℓ + |S|).
   std::vector<std::vector<Weight>> sk_dist(skeleton.size());
   parallel_for(skeleton.size(), [&](std::size_t i) {
-    sk_dist[i] = bellman_ford_hops(g, skeleton[i], ell);
+    sk_dist[i] = mbf_sssp(g, skeleton[i], ell);
   });
   run.rounds_setup += ell + static_cast<std::uint64_t>(skeleton.size() *
                                                        std::ceil(log_n));
@@ -160,21 +156,21 @@ SkeletonRun congest_frt_skeleton(const Graph& g, const SkeletonOptions& opts,
                       static_cast<unsigned>(skeleton.size()) + 1);
 
   // Finish: ℓ iterations of r^V A_{G,2k−1} (Equation (8.10)); each costs
-  // max_v |x_v| rounds as in the Khan algorithm.
-  auto x = std::move(jump.states);
+  // max_v |x_v| rounds as in the Khan algorithm.  The jump-start states
+  // are the filtered mbf_run output, so the initial filter is skipped.
+  MbfEngine<LeListAlgebra> engine(
+      g, alg, std::move(jump.states),
+      MbfOptions{.weight_scale = alpha, .filter_initial = false});
   for (unsigned i = 0; i < ell; ++i) {
-    run.rounds_iterations += max_list_size(x);
-    auto next = mbf_step(g, alg, x, alpha, true);
+    run.rounds_iterations += max_list_size(engine.states());
+    const bool changed = engine.step();
     ++run.le.iterations;
-    bool same = true;
-    for (Vertex v = 0; v < n && same; ++v) same = alg.equal(next[v], x[v]);
-    x = std::move(next);
-    if (same) {
+    if (!changed) {
       run.le.converged = true;
       break;
     }
   }
-  run.le.lists = std::move(x);
+  run.le.lists = engine.take_states();
   run.rounds = run.rounds_setup + run.rounds_iterations;
   return out;
 }

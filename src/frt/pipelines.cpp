@@ -45,6 +45,8 @@ FrtSample finish_sample(LeListsResult le, VertexOrder order, double beta,
   s.tree = FrtTree::build(le.lists, order, beta, dist_min_hint, opts.rule);
   s.order = std::move(order);
   s.work = scope.work_delta();
+  s.relaxations = scope.relaxations_delta();
+  s.edges_touched = scope.edges_touched_delta();
   s.seconds = timer.seconds();
   return s;
 }
@@ -75,6 +77,8 @@ FrtSample sample_frt_oracle(const Graph& g, Rng& rng,
   sample.hopset_edges = hopset.edges.size();
   sample.seconds = timer.seconds();
   sample.work = scope.work_delta();
+  sample.relaxations = scope.relaxations_delta();
+  sample.edges_touched = scope.edges_touched_delta();
   return sample;
 }
 

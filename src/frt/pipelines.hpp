@@ -44,6 +44,8 @@ struct FrtSample {
   unsigned iterations = 0;       ///< top-level MBF-like iterations
   unsigned base_iterations = 0;  ///< G'-level iterations (oracle pipeline)
   std::uint64_t work = 0;        ///< semiring ops (WorkDepth delta)
+  std::uint64_t relaxations = 0;    ///< edge relax applications (WorkDepth)
+  std::uint64_t edges_touched = 0;  ///< half-edges scanned (WorkDepth)
   double seconds = 0.0;
   std::size_t hopset_edges = 0;
   std::size_t max_list_length = 0;  ///< for Lemma 7.6 checks

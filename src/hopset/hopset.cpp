@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/graph/shortest_paths.hpp"
+#include "src/mbf/algorithms.hpp"
 #include "src/parallel/parallel.hpp"
 #include "src/util/assertions.hpp"
 
@@ -106,7 +107,10 @@ double measure_hopset_stretch(const Graph& g, const HopSet& hopset,
   parallel_for(sources.size(), [&](std::size_t i) {
     const Vertex s = sources[i];
     const auto exact = dijkstra(g, s).dist;
-    const auto hop = bellman_ford_hops(gp, s, hopset.d);
+    // dist^d(s,·,G') through the frontier-driven engine: identical values
+    // to d-hop Bellman-Ford, but only edges incident to the shrinking
+    // changed set are relaxed per round.
+    const auto hop = mbf_sssp(gp, s, hopset.d);
     double w = 1.0;
     for (Vertex v = 0; v < n; ++v) {
       if (v == s || !is_finite(exact[v]) || exact[v] <= 0.0) continue;

@@ -19,14 +19,39 @@
 //     bool equal(const State&, const State&) const;  // for fixpoint tests
 //   };
 //
-// The iteration is *pull-based*: vertex v starts from its own previous
-// state (the adjacency diagonal is the semiring one, and 1 ⊙ x = x by
-// (2.1)) and relaxes over incident edges.  Pulls write only to out[v], so
-// the loop parallelises without synchronisation — this is the map of the
-// paper's depth-O(1)-per-iteration propagate/aggregate phases onto OpenMP.
+// == Frontier-driven iteration ==
+//
+// Because the adjacency diagonal is the semiring one (1 ⊙ x = x by (2.1)),
+// x⁽ⁱ⁺¹⁾_v is a function of x⁽ⁱ⁾_v and the states of v's neighbours.  So v
+// can only change in iteration i+1 if v itself or a neighbour changed in
+// iteration i — the changed set (the *frontier*) shrinks as the iteration
+// converges, and once it is empty the filtered fixpoint is reached.
+// MbfEngine exploits this: each step recomputes only the vertices affected
+// by the previous frontier and relaxes only edges whose source is in the
+// frontier, falling back to the dense all-edges pull when the frontier is
+// too large for sparsity to pay off (direction-optimizing style).
+//
+// Restricting relaxation to frontier sources is exact — not merely
+// ~-equivalent — because every semimodule aggregation ⊕ of the framework
+// is associative, commutative and idempotent, and every filter r is an
+// idempotent selection: an offer w ⊙ x_u already made in an earlier
+// iteration is either contained in x_v (idempotence) or was discarded by r
+// in favour of entries that are still present (selection stability), so
+// repeating it cannot change r(x_v ⊕ …).  All Section-3 algebras and the
+// LE-list algebra (Section 7) satisfy this; an algebra that does not can
+// force MbfMode::kDense.
+//
+// The two state vectors are double-buffered inside the engine and per-
+// vertex results are committed by swapping vector elements, so steady-
+// state iterations perform no allocations (state-internal buffers are
+// recycled across rounds).  Frontiers are collected into per-thread
+// buffers (PerThreadBuffers) and merged by sorting, which makes every
+// output — states, frontiers, iteration counts, WorkDepth counters —
+// bit-identical across OpenMP thread counts.
 
 #include <concepts>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/graph/graph.hpp"
@@ -51,6 +76,9 @@ concept MbfAlgebra = requires(const A& alg, typename A::State& acc,
 /// stretched matrices A_λ = (1+ε̂)^{Λ−λ} · A_G of Lemma 5.1.  With
 /// `apply_filter == false` the raw product A x is returned (the framework
 /// guarantees both variants are ~-equivalent, Corollary 2.17).
+///
+/// This is the dense reference implementation; iterate through MbfEngine /
+/// mbf_run instead when running to a fixpoint.
 template <MbfAlgebra Algebra>
 [[nodiscard]] std::vector<typename Algebra::State> mbf_step(
     const Graph& g, const Algebra& alg,
@@ -69,7 +97,10 @@ template <MbfAlgebra Algebra>
     if (apply_filter) alg.filter(acc);
     out[vi] = std::move(acc);
   });
-  WorkDepth::add_depth(1);
+  const auto half_edges = static_cast<std::uint64_t>(2 * g.num_edges());
+  WorkDepth::add_relaxations(half_edges);
+  WorkDepth::add_edges_touched(half_edges);
+  WorkDepth::add_depth_serial(1);
   return out;
 }
 
@@ -78,8 +109,46 @@ template <MbfAlgebra Algebra>
 void mbf_filter(const Algebra& alg,
                 std::vector<typename Algebra::State>& x) {
   parallel_for(x.size(), [&](std::size_t v) { alg.filter(x[v]); });
-  WorkDepth::add_depth(1);
+  WorkDepth::add_depth_serial(1);
 }
+
+/// Parallel component-wise equality of two state vectors (the fixpoint
+/// test, folded out of the serial scan it used to be).
+template <MbfAlgebra Algebra>
+[[nodiscard]] bool mbf_states_equal(
+    const Algebra& alg, const std::vector<typename Algebra::State>& a,
+    const std::vector<typename Algebra::State>& b) {
+  PMTE_CHECK(a.size() == b.size(), "mbf_states_equal: size mismatch");
+  return parallel_reduce_sum(a.size(), [&](std::size_t v) {
+           return alg.equal(a[v], b[v]) ? 0.0 : 1.0;
+         }) == 0.0;
+}
+
+/// Iteration mode of MbfEngine.
+enum class MbfMode : std::uint8_t {
+  kAuto,    ///< frontier-driven, dense fallback above the density threshold
+  kDense,   ///< always the dense all-edges pull (the reference behaviour)
+  /// Sparse frontier gathers regardless of density (for tests/ablation).
+  /// The first round after reset() still executes as the dense pull: with
+  /// every vertex in the frontier the two are the same edge set, and the
+  /// dense pull skips the pointless membership tests.
+  kSparse,
+};
+
+/// Tunables of MbfEngine.
+struct MbfOptions {
+  double weight_scale = 1.0;  ///< edge-weight prescale (Lemma 5.1)
+  MbfMode mode = MbfMode::kAuto;
+  /// kAuto switches to the dense pull when scanning the frontier's incident
+  /// edges would touch more than this fraction of all half-edges: sparse
+  /// rounds cost Σ_{v affected} deg(v) edge scans, so once the frontier
+  /// covers a constant fraction of the graph the dense pull is cheaper and
+  /// has no membership tests.
+  double dense_fraction = 0.25;
+  /// Apply r^V to x⁽⁰⁾ on construction/reset (harmless by Corollary 2.17;
+  /// disable when x⁽⁰⁾ is known to be filtered already).
+  bool filter_initial = true;
+};
 
 /// Result of running an MBF-like algorithm to fixpoint / iteration budget.
 template <typename State>
@@ -89,30 +158,237 @@ struct MbfRun {
   bool reached_fixpoint = false;
 };
 
+/// Frontier-driven MBF-like iterator: owns the double-buffered state
+/// vectors and the frontier, and advances one filtered iteration per
+/// step().  States are readable between steps (states()), so callers that
+/// need per-iteration accounting (CONGEST round costs, oracle levels) can
+/// interleave without copying.
+template <MbfAlgebra Algebra>
+class MbfEngine {
+ public:
+  using State = typename Algebra::State;
+
+  /// Engine with an empty (all-⊥-like, default-constructed) state vector;
+  /// call reset() before stepping.  The graph and algebra must outlive the
+  /// engine.
+  MbfEngine(const Graph& g, const Algebra& alg, MbfOptions opts = {})
+      : g_(&g), alg_(&alg), opts_(opts) {
+    const Vertex n = g.num_vertices();
+    cur_.resize(n);
+    out_.resize(n);
+    in_frontier_.assign(n, 0);
+    changed_.assign(n, 0);
+    frontier_all_ = false;  // nothing to do until reset()
+  }
+
+  MbfEngine(const Graph& g, const Algebra& alg, std::vector<State> x0,
+            MbfOptions opts = {})
+      : MbfEngine(g, alg, opts) {
+    reset(std::move(x0));
+  }
+
+  /// Install a fresh x⁽⁰⁾ (must have one state per vertex) and restart the
+  /// iteration with a full frontier.  Buffers are reused, so resetting an
+  /// engine is cheaper than constructing one.
+  void reset(std::vector<State> x0) {
+    PMTE_CHECK(x0.size() == g_->num_vertices(),
+               "MbfEngine: state vector size mismatch");
+    cur_ = std::move(x0);
+    if (opts_.filter_initial) mbf_filter(*alg_, cur_);
+    frontier_.clear();
+    frontier_all_ = true;
+    iterations_ = 0;
+  }
+
+  /// Change the weight prescale for subsequent steps (the oracle reuses
+  /// one engine across the per-level matrices A_λ).
+  void set_weight_scale(double s) noexcept { opts_.weight_scale = s; }
+
+  /// One filtered iteration x ↦ r^V(A x).  Returns true iff any state
+  /// changed; false means the filtered fixpoint was already reached.
+  bool step() {
+    if (at_fixpoint()) return false;
+    const Vertex n = g_->num_vertices();
+    const auto half_edges = static_cast<std::uint64_t>(2 * g_->num_edges());
+
+    bool dense = frontier_all_ || opts_.mode == MbfMode::kDense;
+    if (!dense && opts_.mode == MbfMode::kAuto) {
+      // Degrees are integers < 2^53: the double sum is exact, hence the
+      // threshold decision is deterministic across thread counts.
+      const double frontier_deg = parallel_reduce_sum(
+          frontier_.size(),
+          [&](std::size_t i) {
+            return static_cast<double>(g_->degree(frontier_[i]));
+          });
+      dense = frontier_deg + static_cast<double>(frontier_.size()) >
+              opts_.dense_fraction *
+                  static_cast<double>(half_edges + n);
+    }
+
+    if (dense) {
+      dense_round();
+    } else {
+      sparse_round();
+    }
+    WorkDepth::add_depth_serial(1);
+    ++iterations_;
+    frontier_all_ = false;
+    frontier_.swap(next_frontier_);
+    return !frontier_.empty();
+  }
+
+  /// True once step() can no longer change any state.
+  [[nodiscard]] bool at_fixpoint() const noexcept {
+    return !frontier_all_ && frontier_.empty();
+  }
+
+  [[nodiscard]] const std::vector<State>& states() const noexcept {
+    return cur_;
+  }
+
+  /// Move the states out (the engine needs reset() afterwards).
+  [[nodiscard]] std::vector<State> take_states() noexcept {
+    frontier_.clear();
+    frontier_all_ = false;
+    return std::move(cur_);
+  }
+
+  /// Vertices whose state changed in the last step (sorted ascending).
+  /// Before the first step every vertex is implicitly in the frontier.
+  [[nodiscard]] const std::vector<Vertex>& frontier() const noexcept {
+    return frontier_;
+  }
+
+  [[nodiscard]] std::size_t frontier_size() const noexcept {
+    return frontier_all_ ? cur_.size() : frontier_.size();
+  }
+
+  [[nodiscard]] unsigned iterations() const noexcept { return iterations_; }
+
+ private:
+  // Full pull: recompute every vertex from all incident edges, folding the
+  // fixpoint equality test into the same parallel loop (no serial scan).
+  void dense_round() {
+    const Vertex n = g_->num_vertices();
+    const double scale = opts_.weight_scale;
+    parallel_for(n, [&](std::size_t vi) {
+      const auto v = static_cast<Vertex>(vi);
+      State& acc = out_[vi];
+      acc = cur_[vi];  // diagonal: 1 ⊙ x_v = x_v   (2.1)
+      for (const auto& e : g_->neighbors(v)) {
+        alg_->relax(acc, e.weight * scale, e.to, v, cur_[e.to]);
+      }
+      alg_->filter(acc);
+      changed_[vi] = alg_->equal(acc, cur_[vi]) ? 0 : 1;
+    });
+    const auto half_edges = static_cast<std::uint64_t>(2 * g_->num_edges());
+    WorkDepth::add_relaxations(half_edges);
+    WorkDepth::add_edges_touched(half_edges);
+
+    buffers_.clear();
+    parallel_for(n, [&](std::size_t vi) {
+      if (changed_[vi]) buffers_.local().push_back(static_cast<Vertex>(vi));
+    });
+    buffers_.drain_sorted(next_frontier_);
+    commit();
+  }
+
+  // Sparse gather: only vertices adjacent to (or in) the frontier can
+  // change, and only offers from frontier sources can change them.
+  void sparse_round() {
+    const double scale = opts_.weight_scale;
+
+    parallel_for(frontier_.size(),
+                 [&](std::size_t i) { in_frontier_[frontier_[i]] = 1; });
+
+    // affected = frontier ∪ N(frontier), sorted+deduped so the gather
+    // order (and hence the counters) is canonical.
+    buffers_.clear();
+    parallel_for(frontier_.size(), [&](std::size_t i) {
+      const Vertex u = frontier_[i];
+      auto& buf = buffers_.local();
+      buf.push_back(u);
+      for (const auto& e : g_->neighbors(u)) buf.push_back(e.to);
+    });
+    buffers_.drain_sorted_unique(affected_);
+
+    parallel_for(affected_.size(), [&](std::size_t i) {
+      const Vertex v = affected_[i];
+      State& acc = out_[v];
+      acc = cur_[v];
+      std::uint64_t relaxed = 0;
+      for (const auto& e : g_->neighbors(v)) {
+        if (in_frontier_[e.to]) {
+          alg_->relax(acc, e.weight * scale, e.to, v, cur_[e.to]);
+          ++relaxed;
+        }
+      }
+      alg_->filter(acc);
+      changed_[v] = alg_->equal(acc, cur_[v]) ? 0 : 1;
+      WorkDepth::add_relaxations(relaxed);
+      WorkDepth::add_edges_touched(
+          static_cast<std::uint64_t>(g_->degree(v)));
+    });
+
+    parallel_for(frontier_.size(),
+                 [&](std::size_t i) { in_frontier_[frontier_[i]] = 0; });
+
+    buffers_.clear();
+    parallel_for(affected_.size(), [&](std::size_t i) {
+      const Vertex v = affected_[i];
+      if (changed_[v]) buffers_.local().push_back(v);
+    });
+    buffers_.drain_sorted(next_frontier_);
+    commit();
+  }
+
+  // Publish the recomputed states of changed vertices by swapping the
+  // per-vertex buffers: cur_[v] receives the new state, out_[v] keeps the
+  // old one whose capacity the next round recycles.
+  void commit() {
+    parallel_for(next_frontier_.size(), [&](std::size_t i) {
+      const Vertex v = next_frontier_[i];
+      std::swap(cur_[v], out_[v]);
+    });
+  }
+
+  const Graph* g_;
+  const Algebra* alg_;
+  MbfOptions opts_;
+  std::vector<State> cur_;   // x⁽ⁱ⁾
+  std::vector<State> out_;   // recompute buffer / previous states
+  std::vector<Vertex> frontier_;       // changed in the last step (sorted)
+  std::vector<Vertex> next_frontier_;  // being built by the current step
+  std::vector<Vertex> affected_;       // frontier ∪ N(frontier)
+  std::vector<std::uint8_t> in_frontier_;
+  std::vector<std::uint8_t> changed_;
+  PerThreadBuffers<Vertex> buffers_;
+  bool frontier_all_ = false;  // before the first step after reset()
+  unsigned iterations_ = 0;
+};
+
 /// Run up to `max_iterations` MBF-like iterations, stopping early at the
 /// filtered fixpoint x⁽ⁱ⁺¹⁾ = x⁽ⁱ⁾ (reached after ≤ SPD(G) iterations,
-/// Definition 2.11).
+/// Definition 2.11).  Frontier-driven: per iteration only edges incident
+/// to the changed set are relaxed (dense fallback per `mode`).
 template <MbfAlgebra Algebra>
 [[nodiscard]] MbfRun<typename Algebra::State> mbf_run(
     const Graph& g, const Algebra& alg,
     std::vector<typename Algebra::State> x0, unsigned max_iterations,
-    double weight_scale = 1.0) {
+    double weight_scale = 1.0, MbfMode mode = MbfMode::kAuto) {
+  MbfEngine<Algebra> engine(
+      g, alg, std::move(x0),
+      MbfOptions{.weight_scale = weight_scale, .mode = mode});
   MbfRun<typename Algebra::State> run;
-  mbf_filter(alg, x0);  // r^V x⁽⁰⁾ — harmless by Corollary 2.17
-  run.states = std::move(x0);
   for (unsigned i = 0; i < max_iterations; ++i) {
-    auto next = mbf_step(g, alg, run.states, weight_scale, /*filter=*/true);
+    const bool changed = engine.step();
     ++run.iterations;
-    bool same = true;
-    for (Vertex v = 0; v < g.num_vertices() && same; ++v) {
-      same = alg.equal(next[v], run.states[v]);
-    }
-    run.states = std::move(next);
-    if (same) {
+    if (!changed) {
       run.reached_fixpoint = true;
       break;
     }
   }
+  run.states = engine.take_states();
   return run;
 }
 

@@ -59,24 +59,28 @@ template <OracleAlgebra Algebra>
   std::vector<State> acc(n);
   parallel_for(n, [&](std::size_t v) { acc[v] = alg.bottom(); });
 
+  // One frontier engine, reset per level: x is already filtered and P_λ
+  // preserves that (r ⊥ = ⊥, r idempotent), so the initial filter is
+  // skipped; the double buffers are recycled across all Λ+1 levels.
+  MbfEngine<Algebra> engine(gp, alg, MbfOptions{.filter_initial = false});
   for (unsigned lambda = 0; lambda <= h.max_level(); ++lambda) {
     std::vector<State> y = x;
     project(y, lambda);
-    const double scale = h.level_scale(lambda);
+    engine.set_weight_scale(h.level_scale(lambda));
+    engine.reset(std::move(y));
+    // Early exit at the per-level fixpoint: r^V A_λ is idempotent once
+    // the states stop changing, so the remaining d − step applications
+    // are no-ops.  With hub hop sets the fixpoint typically arrives after
+    // a handful of iterations although d ∈ Θ(√n) — and the frontier
+    // collapses along the way, so late iterations relax almost no edges.
     for (unsigned step = 0; step < h.hop_bound(); ++step) {
-      auto next = mbf_step(gp, alg, y, scale, /*filter=*/true);
+      const bool changed = engine.step();
       if (base_iterations != nullptr) ++*base_iterations;
-      // Early exit at the per-level fixpoint: r^V A_λ is idempotent once
-      // the states stop changing, so the remaining d − step applications
-      // are no-ops.  With hub hop sets the fixpoint typically arrives
-      // after a handful of iterations although d ∈ Θ(√n).
-      bool same = true;
-      for (Vertex v = 0; v < n && same; ++v) same = alg.equal(next[v], y[v]);
-      y = std::move(next);
-      if (same) break;
+      if (!changed) break;
     }
-    project(y, lambda);
-    parallel_for(n, [&](std::size_t v) { alg.aggregate(acc[v], y[v]); });
+    auto y_out = engine.take_states();
+    project(y_out, lambda);
+    parallel_for(n, [&](std::size_t v) { alg.aggregate(acc[v], y_out[v]); });
   }
   mbf_filter(alg, acc);
   return acc;
@@ -97,10 +101,7 @@ template <OracleAlgebra Algebra>
   for (unsigned i = 0; i < max_h_iterations; ++i) {
     auto next = oracle_step(h, alg, run.states, &base_iters);
     ++run.iterations;
-    bool same = true;
-    for (Vertex v = 0; v < h.num_vertices() && same; ++v) {
-      same = alg.equal(next[v], run.states[v]);
-    }
+    const bool same = mbf_states_equal(alg, next, run.states);
     run.states = std::move(next);
     if (same) {
       run.reached_fixpoint = true;

@@ -5,8 +5,14 @@
 // nodes of the computation DAG as *work* and its longest path as *depth*.
 // We approximate: every semiring/semimodule element operation increments a
 // work counter, and each global sequential phase (one MBF-like iteration,
-// one sort pass, …) increments a depth counter.  Counters are per-thread to
-// avoid contention and merged on read.
+// one sort pass, …) increments a depth counter.  The engine additionally
+// tracks *relaxations* (edge relax applications, the unit the frontier
+// optimisation saves) and *edges touched* (half-edges scanned, including
+// the cheap frontier-membership tests of sparse rounds).  All four are
+// counts of logical operations, so they are deterministic for a fixed
+// input — independent of thread count and scheduling; the CI bench gate
+// (scripts/check_bench_regression.py) relies on this.  Counters are
+// per-thread to avoid contention and merged on read.
 
 #include <array>
 #include <atomic>
@@ -16,29 +22,59 @@
 
 namespace pmte {
 
-/// Global work/depth counters.  Work adds are cheap (per-thread cache line);
+/// Global work/depth counters.  Adds are cheap (per-thread cache line);
 /// depth adds happen outside parallel regions.
 class WorkDepth {
  public:
   static constexpr int kMaxThreads = 256;
 
   /// Record `n` units of work on the calling thread.
-  static void add_work(std::uint64_t n) noexcept {
-    slots_[static_cast<std::size_t>(thread_index()) % kMaxThreads].value +=
-        n;
+  static void add_work(std::uint64_t n) noexcept { slot().work += n; }
+
+  /// Record `n` edge relaxations (relax applications) on the calling thread.
+  static void add_relaxations(std::uint64_t n) noexcept {
+    slot().relaxations += n;
   }
 
-  /// Record `n` units of sequential depth (call outside parallel regions).
+  /// Record `n` half-edges scanned on the calling thread.
+  static void add_edges_touched(std::uint64_t n) noexcept {
+    slot().edges += n;
+  }
+
+  /// Record `n` units of sequential depth.  Depth is a critical-path
+  /// (span) metric: branches running concurrently must not both count, so
+  /// call this outside parallel regions — the engine helpers use
+  /// add_depth_serial() to drop contributions from nested (source-
+  /// parallel) invocations instead of summing them across branches.
   static void add_depth(std::uint64_t n) noexcept { depth_ += n; }
 
+  /// add_depth, but a no-op when called from inside a parallel region
+  /// (where the phase runs on one of many concurrent branches and would
+  /// otherwise inflate the span by the branch count).
+  static void add_depth_serial(std::uint64_t n) noexcept {
+    if (!in_parallel()) depth_ += n;
+  }
+
   static void reset() noexcept {
-    for (auto& s : slots_) s.value = 0;
+    for (auto& s : slots_) s = Slot{};
     depth_ = 0;
   }
 
   [[nodiscard]] static std::uint64_t work() noexcept {
     std::uint64_t total = 0;
-    for (const auto& s : slots_) total += s.value;
+    for (const auto& s : slots_) total += s.work;
+    return total;
+  }
+
+  [[nodiscard]] static std::uint64_t relaxations() noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) total += s.relaxations;
+    return total;
+  }
+
+  [[nodiscard]] static std::uint64_t edges_touched() noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) total += s.edges;
     return total;
   }
 
@@ -46,20 +82,37 @@ class WorkDepth {
 
  private:
   struct alignas(64) Slot {
-    std::uint64_t value;  // zero-initialised via the array's {}
+    // zero-initialised via the array's {} / Slot{} value-init
+    std::uint64_t work;
+    std::uint64_t relaxations;
+    std::uint64_t edges;
   };
+
+  static Slot& slot() noexcept {
+    return slots_[static_cast<std::size_t>(thread_index()) % kMaxThreads];
+  }
+
   static inline std::array<Slot, kMaxThreads> slots_ = {};
   static inline std::atomic<std::uint64_t> depth_{0};
 };
 
-/// RAII scope that snapshots work/depth and reports the delta.
+/// RAII scope that snapshots all counters and reports the deltas.
 class WorkDepthScope {
  public:
   WorkDepthScope() noexcept
-      : work0_(WorkDepth::work()), depth0_(WorkDepth::depth()) {}
+      : work0_(WorkDepth::work()),
+        relax0_(WorkDepth::relaxations()),
+        edges0_(WorkDepth::edges_touched()),
+        depth0_(WorkDepth::depth()) {}
 
   [[nodiscard]] std::uint64_t work_delta() const noexcept {
     return WorkDepth::work() - work0_;
+  }
+  [[nodiscard]] std::uint64_t relaxations_delta() const noexcept {
+    return WorkDepth::relaxations() - relax0_;
+  }
+  [[nodiscard]] std::uint64_t edges_touched_delta() const noexcept {
+    return WorkDepth::edges_touched() - edges0_;
   }
   [[nodiscard]] std::uint64_t depth_delta() const noexcept {
     return WorkDepth::depth() - depth0_;
@@ -67,6 +120,8 @@ class WorkDepthScope {
 
  private:
   std::uint64_t work0_;
+  std::uint64_t relax0_;
+  std::uint64_t edges0_;
   std::uint64_t depth0_;
 };
 

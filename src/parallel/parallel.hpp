@@ -7,8 +7,10 @@
 // controlled centrally (PMTE benches sweep threads for the scaling
 // experiment E11).
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -43,12 +45,22 @@ inline void set_num_threads(int n) noexcept {
 #endif
 }
 
+/// True iff the caller is already inside an OpenMP parallel region (in
+/// which case nested parallel_for calls run serially).
+[[nodiscard]] inline bool in_parallel() noexcept {
+#ifdef _OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
 /// Parallel loop over [0, n) with dynamic scheduling; body(i) must be
 /// independent across iterations (no shared writes without synchronisation).
 template <typename Body>
 void parallel_for(std::size_t n, Body&& body, std::size_t grain = 64) {
 #ifdef _OPENMP
-  if (n >= 2 * grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+  if (n >= 2 * grain && omp_get_max_threads() > 1 && !in_parallel()) {
 #pragma omp parallel for schedule(dynamic, static_cast<long>(grain))
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
       body(static_cast<std::size_t>(i));
@@ -73,6 +85,69 @@ double parallel_reduce_sum(std::size_t n, Body&& body) {
   }
   return total;
 }
+
+/// Per-thread append buffers for parallel set collection (frontiers, edge
+/// lists).  Each OpenMP thread appends to its own cache-line-separated
+/// vector without synchronisation; draining concatenates all buffers and
+/// sorts, so the merged result is *deterministic* — independent of the
+/// thread count and of which thread produced which element.  Buffers keep
+/// their capacity across clear()/drain cycles, so steady-state use
+/// allocates nothing.
+template <typename T>
+class PerThreadBuffers {
+ public:
+  PerThreadBuffers() { ensure_slots(); }
+
+  /// Buffer of the calling thread.  Only valid to touch from within the
+  /// parallel region (or serially); never resize the slot array while a
+  /// parallel region is appending.
+  [[nodiscard]] std::vector<T>& local() noexcept {
+    return slots_[static_cast<std::size_t>(thread_index())].buf;
+  }
+
+  /// Empty all buffers (capacity retained) and make sure one slot exists
+  /// per OpenMP thread.  Call outside parallel regions.
+  void clear() {
+    ensure_slots();
+    for (auto& s : slots_) s.buf.clear();
+  }
+
+  /// Move all buffered elements into `out`, sorted ascending.
+  void drain_sorted(std::vector<T>& out) {
+    concat(out);
+    std::sort(out.begin(), out.end());
+  }
+
+  /// Move all buffered elements into `out`, sorted ascending, duplicates
+  /// removed.
+  void drain_sorted_unique(std::vector<T>& out) {
+    drain_sorted(out);
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::vector<T> buf;
+  };
+
+  void ensure_slots() {
+    const auto want = static_cast<std::size_t>(std::max(num_threads(), 1));
+    if (slots_.size() < want) slots_.resize(want);
+  }
+
+  void concat(std::vector<T>& out) {
+    std::size_t total = 0;
+    for (const auto& s : slots_) total += s.buf.size();
+    out.clear();
+    out.reserve(total);
+    for (auto& s : slots_) {
+      out.insert(out.end(), s.buf.begin(), s.buf.end());
+      s.buf.clear();
+    }
+  }
+
+  std::vector<Slot> slots_;
+};
 
 /// Parallel max-reduction of body(i) over [0, n).
 template <typename Body>

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/graph/shortest_paths.hpp"
+#include "src/mbf/algorithms.hpp"
 #include "src/parallel/parallel.hpp"
 #include "src/util/assertions.hpp"
 
@@ -32,7 +33,8 @@ double SimulatedGraph::level_scale(unsigned lambda) const noexcept {
 
 Weight SimulatedGraph::edge_weight_exact(Vertex v, Vertex w) const {
   if (v == w) return 0.0;
-  const auto dists = bellman_ford_hops(g_prime_, v, d_);
+  // dist^d via the frontier-driven scalar engine (== d-hop Bellman-Ford).
+  const auto dists = mbf_sssp(g_prime_, v, d_);
   if (!is_finite(dists[w])) return inf_weight();
   return level_scale(levels_.edge_level(v, w)) * dists[w];
 }
@@ -42,7 +44,7 @@ Graph SimulatedGraph::materialize(bool use_true_hop_distances) const {
   std::vector<std::vector<Weight>> dist(n);
   parallel_for(n, [&](std::size_t v) {
     if (use_true_hop_distances) {
-      dist[v] = bellman_ford_hops(g_prime_, static_cast<Vertex>(v), d_);
+      dist[v] = mbf_sssp(g_prime_, static_cast<Vertex>(v), d_);
     } else {
       dist[v] = dijkstra(g_prime_, static_cast<Vertex>(v)).dist;
     }

@@ -124,6 +124,95 @@ TEST(MbfEngine, WorkCountersAdvance) {
   (void)mbf_run(g, alg, std::move(x0), 10);
   EXPECT_GT(scope.work_delta(), 0U);
   EXPECT_GT(scope.depth_delta(), 0U);
+  EXPECT_GT(scope.relaxations_delta(), 0U);
+  EXPECT_GE(scope.edges_touched_delta(), scope.relaxations_delta());
+}
+
+// The point of the frontier: on long-diameter graphs the changed set is a
+// narrow wavefront, so a full fixpoint run must relax asymptotically fewer
+// edges than the dense engine's iterations × 2m.  Counter counts are
+// deterministic, so the bound is exact, not statistical.
+TEST(MbfEngine, FrontierRelaxesAsymptoticallyFewerEdgesOnPath) {
+  const Vertex n = 512;
+  const auto g = make_path(n);
+  ScalarDistanceAlgebra alg;
+  std::vector<Weight> x0(n, inf_weight());
+  x0[0] = 0.0;
+
+  const WorkDepthScope dense_scope;
+  const auto dense = mbf_run(g, alg, x0, n, 1.0, MbfMode::kDense);
+  const std::uint64_t dense_relax = dense_scope.relaxations_delta();
+
+  const WorkDepthScope sparse_scope;
+  const auto sparse = mbf_run(g, alg, x0, n, 1.0, MbfMode::kAuto);
+  const std::uint64_t sparse_relax = sparse_scope.relaxations_delta();
+
+  ASSERT_TRUE(dense.reached_fixpoint);
+  ASSERT_TRUE(sparse.reached_fixpoint);
+  EXPECT_EQ(dense.iterations, sparse.iterations);
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_EQ(dense.states[v], sparse.states[v]) << "vertex " << v;
+  }
+  // Dense: SPD(G)+1 iterations × 2m ≈ 2n² relaxations.  Frontier: one
+  // dense first round + an O(1)-wide wavefront per round ≈ O(n).
+  EXPECT_EQ(dense_relax,
+            static_cast<std::uint64_t>(dense.iterations) * 2 * g.num_edges());
+  EXPECT_LT(sparse_relax * 20, dense_relax);
+}
+
+TEST(MbfEngine, FrontierRelaxesFewerEdgesOnGrid) {
+  const auto g = make_grid(20, 20, {1.0, 2.0}, Rng(13));
+  ScalarDistanceAlgebra alg;
+  std::vector<Weight> x0(g.num_vertices(), inf_weight());
+  x0[0] = 0.0;
+
+  const WorkDepthScope dense_scope;
+  const auto dense =
+      mbf_run(g, alg, x0, g.num_vertices(), 1.0, MbfMode::kDense);
+  const std::uint64_t dense_relax = dense_scope.relaxations_delta();
+
+  const WorkDepthScope sparse_scope;
+  const auto sparse =
+      mbf_run(g, alg, x0, g.num_vertices(), 1.0, MbfMode::kAuto);
+  const std::uint64_t sparse_relax = sparse_scope.relaxations_delta();
+
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(dense.states[v], sparse.states[v]) << "vertex " << v;
+  }
+  EXPECT_LT(sparse_relax * 2, dense_relax);
+}
+
+// Acceptance: frontier-driven runs are bit-identical to the dense engine
+// at 1, 2, and 8 OpenMP threads — states, iteration counts, and the
+// deterministic relaxation counters.
+TEST(MbfEngine, FrontierBitIdenticalAcrossThreadCounts) {
+  const int restore = num_threads();
+  const auto g = make_grid(16, 16, {1.0, 3.0}, Rng(17));
+  Rng rng(23);
+  const auto order = VertexOrder::random(g.num_vertices(), rng);
+  const LeListAlgebra alg;
+  const auto x0 = le_initial_state(order);
+
+  const auto dense =
+      mbf_run(g, alg, x0, g.num_vertices(), 1.0, MbfMode::kDense);
+  std::uint64_t relax1 = 0;
+  for (const int threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    const WorkDepthScope scope;
+    const auto sparse =
+        mbf_run(g, alg, x0, g.num_vertices(), 1.0, MbfMode::kAuto);
+    EXPECT_EQ(sparse.iterations, dense.iterations) << threads << " threads";
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(sparse.states[v], dense.states[v])
+          << threads << " threads, vertex " << v;
+    }
+    if (threads == 1) {
+      relax1 = scope.relaxations_delta();
+    } else {
+      EXPECT_EQ(scope.relaxations_delta(), relax1) << threads << " threads";
+    }
+  }
+  set_num_threads(restore);
 }
 
 }  // namespace

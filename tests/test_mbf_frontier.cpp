@@ -1,0 +1,185 @@
+// Sparse/dense equivalence of the frontier-driven MBF engine.
+//
+// The frontier optimisation must be *exact*: for every algebra of the
+// framework, mbf_run in frontier mode (kAuto / forced kSparse) has to
+// produce states bit-identical to the dense reference (kDense), with the
+// same iteration count and fixpoint flag — on every graph family, at every
+// OpenMP thread count.  These are randomized cross-checks at fixed seeds
+// over ER, grid, and star graphs (plus paths, the frontier's best case) at
+// 1, 2, and 8 threads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/frt/le_lists.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mbf/algebras.hpp"
+#include "src/mbf/engine.hpp"
+
+namespace pmte {
+namespace {
+
+/// Compare two runs entry-by-entry with operator== (bit-level for the
+/// scalar algebras, representation-level for the map/set states).
+template <typename State>
+void expect_identical_runs(const MbfRun<State>& a, const MbfRun<State>& b,
+                           const char* what) {
+  ASSERT_EQ(a.states.size(), b.states.size()) << what;
+  EXPECT_EQ(a.iterations, b.iterations) << what;
+  EXPECT_EQ(a.reached_fixpoint, b.reached_fixpoint) << what;
+  for (std::size_t v = 0; v < a.states.size(); ++v) {
+    EXPECT_EQ(a.states[v], b.states[v]) << what << ", vertex " << v;
+  }
+}
+
+/// Run dense / auto / forced-sparse at 1, 2, and 8 threads and check all
+/// seven runs agree (dense @ max threads is the reference).
+template <MbfAlgebra Algebra>
+void cross_check(const Graph& g, const Algebra& alg,
+                 const std::vector<typename Algebra::State>& x0,
+                 unsigned max_iterations, const char* what) {
+  const int restore = num_threads();
+  auto reference = mbf_run(g, alg, x0, max_iterations, 1.0, MbfMode::kDense);
+  for (const int threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    auto dense = mbf_run(g, alg, x0, max_iterations, 1.0, MbfMode::kDense);
+    auto sparse = mbf_run(g, alg, x0, max_iterations, 1.0, MbfMode::kSparse);
+    auto hybrid = mbf_run(g, alg, x0, max_iterations, 1.0, MbfMode::kAuto);
+    expect_identical_runs(reference, dense, what);
+    expect_identical_runs(reference, sparse, what);
+    expect_identical_runs(reference, hybrid, what);
+  }
+  set_num_threads(restore);
+}
+
+Graph family_graph(const std::string& family, Vertex n, std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "er") {
+    return make_gnm(n, 3 * static_cast<std::size_t>(n), {1.0, 4.0}, rng);
+  }
+  if (family == "grid") {
+    Vertex side = 1;
+    while (side * side < n) ++side;
+    return make_grid(side, side, {1.0, 3.0}, rng);
+  }
+  if (family == "star") return make_star(n, {1.0, 5.0}, rng);
+  return make_path(n, {1.0, 2.0}, rng);
+}
+
+class FrontierEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+ protected:
+  [[nodiscard]] const char* family() const {
+    return std::get<0>(GetParam());
+  }
+  [[nodiscard]] std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(FrontierEquivalence, ScalarDistances) {
+  const auto g = family_graph(family(), 72, seed());
+  ScalarDistanceAlgebra alg;
+  std::vector<Weight> x0(g.num_vertices(), inf_weight());
+  Rng rng(seed() + 1);
+  x0[rng.below(g.num_vertices())] = 0.0;
+  cross_check(g, alg, x0, g.num_vertices(), "scalar sssp");
+}
+
+TEST_P(FrontierEquivalence, CappedForestFire) {
+  const auto g = family_graph(family(), 72, seed());
+  ScalarDistanceAlgebra alg{.cap = 6.0};
+  std::vector<Weight> x0(g.num_vertices(), inf_weight());
+  x0[0] = 0.0;
+  x0[g.num_vertices() / 2] = 0.0;
+  cross_check(g, alg, x0, g.num_vertices(), "forest fire");
+}
+
+TEST_P(FrontierEquivalence, SourceDetection) {
+  const auto g = family_graph(family(), 64, seed());
+  SourceDetectionAlgebra alg{.k = 3, .max_dist = 8.0};
+  std::vector<DistanceMap> x0(g.num_vertices());
+  Rng rng(seed() + 2);
+  for (int s = 0; s < 6; ++s) {
+    const auto v = static_cast<Vertex>(rng.below(g.num_vertices()));
+    x0[v] = DistanceMap::singleton(v, 0.0);
+  }
+  cross_check(g, alg, x0, g.num_vertices(), "source detection");
+}
+
+TEST_P(FrontierEquivalence, LeLists) {
+  const auto g = family_graph(family(), 64, seed());
+  Rng rng(seed() + 3);
+  const auto order = VertexOrder::random(g.num_vertices(), rng);
+  const LeListAlgebra alg;
+  cross_check(g, alg, le_initial_state(order), g.num_vertices(), "LE lists");
+}
+
+TEST_P(FrontierEquivalence, WidestPaths) {
+  const auto g = family_graph(family(), 56, seed());
+  WidestPathAlgebra alg;
+  std::vector<WidthMap> x0(g.num_vertices());
+  x0[0] = WidthMap::singleton(0, inf_weight());
+  x0[g.num_vertices() - 1] =
+      WidthMap::singleton(g.num_vertices() - 1, inf_weight());
+  cross_check(g, alg, x0, g.num_vertices(), "widest paths");
+}
+
+TEST_P(FrontierEquivalence, Reachability) {
+  const auto g = family_graph(family(), 64, seed());
+  ReachabilityAlgebra alg;
+  std::vector<std::vector<Vertex>> x0(g.num_vertices());
+  x0[0] = {0};
+  cross_check(g, alg, x0, /*max_iterations=*/7, "reachability");
+}
+
+TEST_P(FrontierEquivalence, KShortestDistinctPaths) {
+  // Path sets are heavy; a small instance keeps the 9 runs fast.
+  const auto g = family_graph(family(), 20, seed());
+  KsdpAlgebra alg{.target = 0, .k = 2, .distinct_weights = false};
+  std::vector<PathSet> x0;
+  x0.reserve(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    x0.push_back(PathSet::single(VertexPath{{v}}, 0.0));
+  }
+  cross_check(g, alg, x0, g.num_vertices(), "k-SDP");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FrontierEquivalence,
+    ::testing::Combine(::testing::Values("er", "grid", "star", "path"),
+                       ::testing::Values(101U, 202U, 303U)));
+
+TEST(FrontierEquivalence, WeightScaleMatchesDense) {
+  Rng rng(7);
+  const auto g = make_gnm(48, 144, {1.0, 4.0}, rng);
+  const auto order = VertexOrder::random(g.num_vertices(), rng);
+  const LeListAlgebra alg;
+  const auto x0 = le_initial_state(order);
+  auto dense = mbf_run(g, alg, x0, 64, 1.75, MbfMode::kDense);
+  auto sparse = mbf_run(g, alg, x0, 64, 1.75, MbfMode::kSparse);
+  expect_identical_runs(dense, sparse, "weight scale");
+}
+
+TEST(FrontierEquivalence, EngineResetReusesBuffers) {
+  // One engine, two runs from different sources: the second run must be
+  // unaffected by the first (reset reinstalls a full frontier).
+  const auto g = make_grid(8, 8, {1.0, 2.0}, Rng(11));
+  ScalarDistanceAlgebra alg;
+  MbfEngine<ScalarDistanceAlgebra> engine(g, alg);
+  for (const Vertex source : {Vertex{0}, Vertex{63}, Vertex{27}}) {
+    std::vector<Weight> x0(g.num_vertices(), inf_weight());
+    x0[source] = 0.0;
+    engine.reset(x0);
+    while (engine.step()) {
+    }
+    EXPECT_TRUE(engine.at_fixpoint());
+    const auto expect =
+        mbf_run(g, alg, std::move(x0), g.num_vertices(), 1.0,
+                MbfMode::kDense);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(engine.states()[v], expect.states[v]) << "vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmte

@@ -63,5 +63,67 @@ TEST(WorkDepthCounters, ScopeMeasuresDeltas) {
   EXPECT_EQ(scope.depth_delta(), 2U);
 }
 
+TEST(WorkDepthCounters, RelaxationAndEdgeCountersAreIndependent) {
+  WorkDepth::reset();
+  const WorkDepthScope scope;
+  parallel_for(500, [](std::size_t) {
+    WorkDepth::add_relaxations(2);
+    WorkDepth::add_edges_touched(7);
+  });
+  EXPECT_EQ(scope.relaxations_delta(), 1000U);
+  EXPECT_EQ(scope.edges_touched_delta(), 3500U);
+  EXPECT_EQ(scope.work_delta(), 0U);
+}
+
+TEST(PerThreadBuffers, DrainSortedIsDeterministic) {
+  const int restore = num_threads();
+  const std::size_t n = 20000;
+  std::vector<std::uint32_t> reference;
+  for (const int threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    PerThreadBuffers<std::uint32_t> buffers;
+    buffers.clear();
+    parallel_for(n, [&](std::size_t i) {
+      if (i % 3 == 0) buffers.local().push_back(static_cast<std::uint32_t>(i));
+    });
+    std::vector<std::uint32_t> out;
+    buffers.drain_sorted(out);
+    ASSERT_EQ(out.size(), (n + 2) / 3) << threads << " threads";
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      ASSERT_EQ(out[j], 3 * j) << threads << " threads";
+    }
+    if (threads == 1) {
+      reference = out;
+    } else {
+      EXPECT_EQ(out, reference) << threads << " threads";
+    }
+  }
+  set_num_threads(restore);
+}
+
+TEST(PerThreadBuffers, DrainSortedUniqueDeduplicates) {
+  PerThreadBuffers<std::uint32_t> buffers;
+  buffers.clear();
+  parallel_for(999, [&](std::size_t i) {
+    buffers.local().push_back(static_cast<std::uint32_t>(i % 10));
+  });
+  std::vector<std::uint32_t> out;
+  buffers.drain_sorted_unique(out);
+  ASSERT_EQ(out.size(), 10U);
+  for (std::uint32_t j = 0; j < 10; ++j) EXPECT_EQ(out[j], j);
+}
+
+TEST(PerThreadBuffers, DrainEmptiesBuffers) {
+  PerThreadBuffers<int> buffers;
+  buffers.clear();
+  buffers.local().push_back(4);
+  buffers.local().push_back(1);
+  std::vector<int> out;
+  buffers.drain_sorted(out);
+  EXPECT_EQ(out, (std::vector<int>{1, 4}));
+  buffers.drain_sorted(out);
+  EXPECT_TRUE(out.empty());
+}
+
 }  // namespace
 }  // namespace pmte
