@@ -3,9 +3,12 @@
 // graph-family construction, and run-scaling via --scale=small|full.
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/graph/generators.hpp"
@@ -15,6 +18,47 @@
 #include "src/util/timer.hpp"
 
 namespace pmte::bench {
+
+// ---------------------------------------------------------------------------
+// Deterministic counter scenarios (the CI bench gate).
+//
+// Benches that model a paper claim with the WorkDepth counters expose a
+// `--counters` mode: fixed-seed scenarios whose relaxation / edges-touched /
+// work / depth counts are logical-operation counts — identical across
+// thread counts, compilers, and machines.  scripts/run_benches.sh embeds
+// the JSON under the .counters key of BENCH_<name>.json, and the CI
+// bench-gate job hard-fails on >5% growth over the committed baseline via
+// scripts/check_bench_regression.py.
+
+/// One gated scenario: a name plus ordered (metric, value) pairs.
+struct CounterScenario {
+  std::string name;
+  std::vector<std::pair<std::string, std::uint64_t>> metrics;
+};
+
+/// True iff the binary was invoked with --counters (scale flags ignored).
+inline bool wants_counters(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--counters") == 0) return true;
+  }
+  return false;
+}
+
+/// Emit the scenarios in the schema check_bench_regression.py consumes.
+inline void emit_counters(std::ostream& os,
+                          const std::vector<CounterScenario>& scenarios) {
+  os << "{\n  \"schema\": 1,\n  \"scenarios\": {\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& s = scenarios[i];
+    os << "    \"" << s.name << "\": {";
+    for (std::size_t j = 0; j < s.metrics.size(); ++j) {
+      os << "\"" << s.metrics[j].first << "\": " << s.metrics[j].second
+         << (j + 1 < s.metrics.size() ? ", " : "");
+    }
+    os << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+}
 
 inline void print_header(const std::string& experiment,
                          const std::string& claim) {

@@ -9,6 +9,7 @@
 #include "bench/bench_common.hpp"
 #include "src/congest/congest.hpp"
 #include "src/graph/shortest_paths.hpp"
+#include "src/parallel/counters.hpp"
 
 namespace pmte::bench {
 namespace {
@@ -30,13 +31,15 @@ void run(const Cli& cli) {
       quick(cli) ? std::vector<Vertex>{200, 400}
                  : std::vector<Vertex>{200, 400, 800, 1600};
   Rng rng(cli.seed());
-  Table t({"graph", "n", "SPD-ish", "sqrt(n)", "khan rounds",
+  Table t({"graph", "n", "SPD-ish", "sqrt(n)", "khan rounds", "khan relax",
            "skeleton rounds", "skel setup", "skel iters", "|S|",
            "spanner |E|"});
 
   auto run_case = [&](const std::string& name, const Graph& g) {
     const auto order = VertexOrder::random(g.num_vertices(), rng);
+    const WorkDepthScope khan_scope;
     const auto khan = congest_frt_khan(g, order);
+    const auto khan_relax = khan_scope.relaxations_delta();
     SkeletonOptions opts;
     opts.size_constant = 0.15;
     const auto sk = congest_frt_skeleton(g, opts, rng);
@@ -44,6 +47,7 @@ void run(const Cli& cli) {
                cell(std::size_t{khan.le.iterations}),
                cell(std::sqrt(static_cast<double>(g.num_vertices()))),
                cell(static_cast<double>(khan.rounds)),
+               cell(static_cast<std::size_t>(khan_relax)),
                cell(static_cast<double>(sk.run.rounds)),
                cell(static_cast<double>(sk.run.rounds_setup)),
                cell(static_cast<double>(sk.run.rounds_iterations)),

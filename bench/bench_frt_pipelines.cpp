@@ -4,7 +4,12 @@
 // polylog(n) top-level iterations where direct iteration pays Θ(SPD(G)),
 // and its work stays subquadratic where the metric pipeline (Blelloch et
 // al.) pays Ω(n²).  Columns report iteration counts (depth proxy),
-// semiring operations (work proxy) and wall time.
+// semiring operations (work proxy), relaxations, and wall time.
+//
+// `--counters` instead emits deterministic WorkDepth scenarios for the CI
+// bench gate: full FRT sampling through the level-reusing oracle on the
+// 2048-path / 45×45-grid, plus reuse-vs-reference at 512 so the saved
+// relaxations stay visible in the committed baseline.
 
 #include <cmath>
 
@@ -15,6 +20,56 @@
 
 namespace pmte::bench {
 namespace {
+
+CounterScenario frt_oracle_scenario(const std::string& name, const Graph& g,
+                                    std::uint64_t seed, bool level_reuse) {
+  Rng rng(seed);
+  WorkDepth::reset();
+  FrtOptions opts;
+  opts.mbf.oracle_level_reuse = level_reuse;
+  const WorkDepthScope scope;
+  const auto s = sample_frt_oracle(g, rng, opts);
+  return CounterScenario{name,
+                         {{"relaxations", s.relaxations},
+                          {"edges_touched", s.edges_touched},
+                          {"work", s.work},
+                          {"depth", scope.depth_delta()},
+                          {"iterations", s.iterations},
+                          {"base_iterations", s.base_iterations},
+                          {"levels_skipped", s.levels_skipped},
+                          {"levels_warm", s.levels_warm},
+                          {"levels_full", s.levels_full}}};
+}
+
+CounterScenario frt_direct_scenario(const std::string& name, const Graph& g,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  WorkDepth::reset();
+  const WorkDepthScope scope;
+  const auto s = sample_frt_direct(g, rng);
+  return CounterScenario{name,
+                         {{"relaxations", s.relaxations},
+                          {"edges_touched", s.edges_touched},
+                          {"work", s.work},
+                          {"depth", scope.depth_delta()},
+                          {"iterations", s.iterations}}};
+}
+
+void run_counters() {
+  std::vector<CounterScenario> scenarios;
+  scenarios.push_back(
+      frt_oracle_scenario("frt_oracle_path_2048", make_path(2048), 2001, true));
+  scenarios.push_back(frt_oracle_scenario(
+      "frt_oracle_grid_2025", make_grid(45, 45, {1.0, 2.0}, Rng(42)), 2002,
+      true));
+  scenarios.push_back(frt_oracle_scenario("frt_oracle_path_512_noreuse",
+                                          make_path(512), 2003, false));
+  scenarios.push_back(
+      frt_oracle_scenario("frt_oracle_path_512", make_path(512), 2003, true));
+  scenarios.push_back(
+      frt_direct_scenario("frt_direct_path_2048", make_path(2048), 2004));
+  emit_counters(std::cout, scenarios);
+}
 
 void run(const Cli& cli) {
   print_header(
@@ -30,15 +85,16 @@ void run(const Cli& cli) {
                  : std::vector<Vertex>{128, 256, 384};
   Rng rng(cli.seed());
   Table t({"family", "n", "pipeline", "iterations", "G'-iterations",
-           "work [ops]", "time [ms]", "max |list|"});
+           "work [ops]", "relax", "time [ms]", "max |list|"});
 
   auto report = [&](const Instance& inst, const char* name,
                     const FrtSample& s) {
     t.add_row({inst.name, cell(std::size_t{inst.graph.num_vertices()}), name,
                cell(std::size_t{s.iterations}),
                cell(std::size_t{s.base_iterations}),
-               cell(static_cast<double>(s.work)), cell(s.seconds * 1e3),
-               cell(s.max_list_length)});
+               cell(static_cast<double>(s.work)),
+               cell(static_cast<std::size_t>(s.relaxations)),
+               cell(s.seconds * 1e3), cell(s.max_list_length)});
   };
 
   for (const auto* family : {"path", "cliquechain", "gnm"}) {
@@ -48,6 +104,11 @@ void run(const Cli& cli) {
 
       report(inst, "P-G direct", sample_frt_direct(g, rng));
       report(inst, "P-H oracle", sample_frt_oracle(g, rng));
+      {
+        FrtOptions noreuse;
+        noreuse.mbf.oracle_level_reuse = false;
+        report(inst, "P-H no-reuse", sample_frt_oracle(g, rng, noreuse));
+      }
       {
         // P-M: the Ω(n²) metric has to be produced first — its cost is
         // part of the pipeline (n Dijkstras here, a metric oracle in [10]).
@@ -72,6 +133,10 @@ void run(const Cli& cli) {
 }  // namespace pmte::bench
 
 int main(int argc, char** argv) {
+  if (pmte::bench::wants_counters(argc, argv)) {
+    pmte::bench::run_counters();
+    return 0;
+  }
   const pmte::Cli cli(argc, argv);
   pmte::bench::run(cli);
   return 0;

@@ -4,14 +4,79 @@
 // O(log n) w.h.p. (expected length ≈ H_n ≈ ln n).  We sweep families and
 // sizes and report mean/max list length against ln n, plus the runtime of
 // the sequential baseline (Cohen/Mendel–Schwob style).
+//
+// `--counters` instead emits deterministic WorkDepth scenarios for the CI
+// bench gate: direct fixpoint iteration and the level-reusing oracle
+// pipeline on the 2048-path / 45×45-grid (see bench_common.hpp).
 
 #include <cmath>
 
 #include "bench/bench_common.hpp"
 #include "src/frt/le_lists.hpp"
+#include "src/frt/pipelines.hpp"
+#include "src/parallel/counters.hpp"
 
 namespace pmte::bench {
 namespace {
+
+CounterScenario iteration_scenario(const std::string& name, const Graph& g,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  const auto order = VertexOrder::random(g.num_vertices(), rng);
+  WorkDepth::reset();
+  const WorkDepthScope scope;
+  const auto le = le_lists_iteration(g, order);
+  return CounterScenario{name,
+                         {{"relaxations", scope.relaxations_delta()},
+                          {"edges_touched", scope.edges_touched_delta()},
+                          {"work", scope.work_delta()},
+                          {"depth", scope.depth_delta()},
+                          {"iterations", le.iterations}}};
+}
+
+CounterScenario oracle_scenario(const std::string& name, const Graph& g,
+                                std::uint64_t seed, bool level_reuse) {
+  Rng rng(seed);
+  const auto hopset = build_hub_hopset(g, {}, rng);
+  const auto h = build_simulated_graph(
+      g, hopset, resolve_eps_hat(0.0, g.num_vertices()), rng);
+  const auto order = VertexOrder::random(g.num_vertices(), rng);
+  WorkDepth::reset();
+  const WorkDepthScope scope;
+  const auto le = le_lists_oracle(h, order, 0,
+                                  MbfOptions{.oracle_level_reuse = level_reuse});
+  return CounterScenario{name,
+                         {{"relaxations", scope.relaxations_delta()},
+                          {"edges_touched", scope.edges_touched_delta()},
+                          {"work", scope.work_delta()},
+                          {"depth", scope.depth_delta()},
+                          {"iterations", le.iterations},
+                          {"base_iterations", le.base_iterations},
+                          {"levels_skipped", le.levels_skipped},
+                          {"levels_warm", le.levels_warm},
+                          {"levels_full", le.levels_full}}};
+}
+
+void run_counters() {
+  std::vector<CounterScenario> scenarios;
+  scenarios.push_back(
+      iteration_scenario("le_iteration_path_2048", make_path(2048), 1001));
+  scenarios.push_back(iteration_scenario(
+      "le_iteration_grid_2025", make_grid(45, 45, {1.0, 2.0}, Rng(42)), 1002));
+  scenarios.push_back(
+      oracle_scenario("le_oracle_path_2048", make_path(2048), 1003, true));
+  scenarios.push_back(oracle_scenario(
+      "le_oracle_grid_2025", make_grid(45, 45, {1.0, 2.0}, Rng(42)), 1004,
+      true));
+  // The pre-reuse reference at a smaller size (it pays Θ(log n) dense
+  // rounds per H-iteration; committing it keeps the reuse-vs-reference
+  // relaxation ratio visible in the baseline).
+  scenarios.push_back(oracle_scenario("le_oracle_path_512_noreuse",
+                                      make_path(512), 1005, false));
+  scenarios.push_back(
+      oracle_scenario("le_oracle_path_512", make_path(512), 1005, true));
+  emit_counters(std::cout, scenarios);
+}
 
 void run(const Cli& cli) {
   print_header("E3: LE-list length",
@@ -59,6 +124,10 @@ void run(const Cli& cli) {
 }  // namespace pmte::bench
 
 int main(int argc, char** argv) {
+  if (pmte::bench::wants_counters(argc, argv)) {
+    pmte::bench::run_counters();
+    return 0;
+  }
   const pmte::Cli cli(argc, argv);
   pmte::bench::run(cli);
   return 0;

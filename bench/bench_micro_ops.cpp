@@ -14,10 +14,10 @@
 //     (PMTE_HAVE_GOOGLE_BENCHMARK); without it the default mode emits `{}`
 //     so scripts/run_benches.sh still gets valid JSON.
 
-#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "bench/bench_common.hpp"
 #include "src/algebra/distance_map.hpp"
 #include "src/algebra/path_set.hpp"
 #include "src/frt/le_lists.hpp"
@@ -34,35 +34,27 @@ namespace pmte {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Deterministic counter scenarios (the CI gate).
-
-struct CounterReport {
-  std::string name;
-  std::uint64_t relaxations;
-  std::uint64_t edges_touched;
-  std::uint64_t work;
-  std::uint64_t depth;
-  unsigned iterations;
-};
+// Deterministic counter scenarios (the CI gate; shared emitter in
+// bench_common.hpp).
 
 template <MbfAlgebra Algebra>
-CounterReport run_scenario(const std::string& name, const Graph& g,
-                           const Algebra& alg,
-                           std::vector<typename Algebra::State> x0,
-                           MbfMode mode) {
+bench::CounterScenario run_scenario(const std::string& name, const Graph& g,
+                                    const Algebra& alg,
+                                    std::vector<typename Algebra::State> x0,
+                                    MbfMode mode) {
   WorkDepth::reset();
   const WorkDepthScope scope;
   const auto run = mbf_run(g, alg, std::move(x0), g.num_vertices(), 1.0, mode);
-  return CounterReport{name,
-                       scope.relaxations_delta(),
-                       scope.edges_touched_delta(),
-                       scope.work_delta(),
-                       scope.depth_delta(),
-                       run.iterations};
+  return bench::CounterScenario{name,
+                                {{"relaxations", scope.relaxations_delta()},
+                                 {"edges_touched", scope.edges_touched_delta()},
+                                 {"work", scope.work_delta()},
+                                 {"depth", scope.depth_delta()},
+                                 {"iterations", run.iterations}}};
 }
 
 void emit_counters(std::ostream& os) {
-  std::vector<CounterReport> reports;
+  std::vector<bench::CounterScenario> reports;
 
   // Scalar SSSP on a long path — SPD = n−1, the dense engine's worst case
   // and the frontier's best.
@@ -114,17 +106,7 @@ void emit_counters(std::ostream& os) {
                                    std::move(x0), MbfMode::kAuto));
   }
 
-  os << "{\n  \"schema\": 1,\n  \"scenarios\": {\n";
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    const auto& r = reports[i];
-    os << "    \"" << r.name << "\": {"
-       << "\"relaxations\": " << r.relaxations
-       << ", \"edges_touched\": " << r.edges_touched
-       << ", \"work\": " << r.work << ", \"depth\": " << r.depth
-       << ", \"iterations\": " << r.iterations << "}"
-       << (i + 1 < reports.size() ? "," : "") << "\n";
-  }
-  os << "  }\n}\n";
+  bench::emit_counters(os, reports);
 }
 
 // ---------------------------------------------------------------------------
@@ -223,11 +205,9 @@ BENCHMARK(BM_MbfFrontierStep);
 }  // namespace pmte
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--counters") == 0) {
-      pmte::emit_counters(std::cout);
-      return 0;
-    }
+  if (pmte::bench::wants_counters(argc, argv)) {
+    pmte::emit_counters(std::cout);
+    return 0;
   }
 #ifdef PMTE_HAVE_GOOGLE_BENCHMARK
   benchmark::Initialize(&argc, argv);

@@ -20,8 +20,10 @@ that embeds it under the "counters" key.
 
 Exit status: 0 = within tolerance, 1 = regression (or malformed input).
 After an intentional algorithmic change, regenerate the baseline with
-  build/bench/bench_micro_ops --counters   (see scripts/run_benches.sh)
-and commit the updated BENCH_micro_ops.json.
+  build/bench/bench_<name> --counters      (see scripts/run_benches.sh)
+and commit the updated BENCH_<name>.json.  Gated baselines: micro_ops
+(engine micro scenarios), le_lists and frt_pipelines (the sparse oracle /
+FRT pipeline scenarios).
 """
 
 import argparse
@@ -29,7 +31,7 @@ import json
 import sys
 
 GATED_METRICS = ("relaxations", "edges_touched", "work", "depth",
-                 "iterations")
+                 "iterations", "base_iterations")
 
 
 def load_scenarios(path):

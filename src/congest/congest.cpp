@@ -14,11 +14,53 @@ namespace pmte {
 
 namespace {
 
-std::size_t max_list_size(const std::vector<DistanceMap>& x) {
-  std::size_t worst = 0;
-  for (const auto& l : x) worst = std::max(worst, l.size());
-  return worst;
-}
+/// Incremental max_v |x_v| across engine iterations.  The round accounting
+/// needs the maximum before *every* step, and a full Θ(n) rescan per
+/// iteration would dwarf the o(n) work of the engine's sparse rounds.
+/// List sizes change only at the engine's frontier (the vertices whose
+/// state the last step changed), so the tracker keeps a per-vertex size
+/// array plus a size histogram and updates both from the frontier —
+/// O(|frontier|) per iteration, same maxima as the rescan, and
+/// deterministic because the frontier is.
+class ListSizeTracker {
+ public:
+  explicit ListSizeTracker(const std::vector<DistanceMap>& states) {
+    size_of_.resize(states.size());
+    for (std::size_t v = 0; v < states.size(); ++v) {
+      size_of_[v] = states[v].size();
+      grow_histogram(size_of_[v]);
+      ++count_[size_of_[v]];
+      max_ = std::max(max_, size_of_[v]);
+    }
+  }
+
+  /// Apply the state changes of one step (`changed` = engine frontier).
+  void apply(const std::vector<Vertex>& changed,
+             const std::vector<DistanceMap>& states) {
+    for (const Vertex v : changed) {
+      const std::size_t now = states[v].size();
+      const std::size_t was = size_of_[v];
+      if (now == was) continue;
+      --count_[was];
+      grow_histogram(now);
+      ++count_[now];
+      size_of_[v] = now;
+      max_ = std::max(max_, now);
+    }
+    while (max_ > 0 && count_[max_] == 0) --max_;
+  }
+
+  [[nodiscard]] std::size_t max() const noexcept { return max_; }
+
+ private:
+  void grow_histogram(std::size_t size) {
+    if (size >= count_.size()) count_.resize(size + 1, 0);
+  }
+
+  std::vector<std::size_t> size_of_;
+  std::vector<std::size_t> count_;  // histogram: count_[s] lists of size s
+  std::size_t max_ = 0;
+};
 
 /// Unweighted hop diameter estimate via double BFS (exact on trees, a
 /// 2-approximation in general — good enough for round accounting).
@@ -49,12 +91,14 @@ CongestRun congest_frt_khan(const Graph& g, const VertexOrder& order) {
   run.embedding_stretch = 1.0;
   const LeListAlgebra alg;
   MbfEngine<LeListAlgebra> engine(g, alg, le_initial_state(order));
+  ListSizeTracker sizes(engine.states());
   const unsigned cap = std::max<unsigned>(1, g.num_vertices());
   for (unsigned i = 0; i < cap; ++i) {
     // Every vertex transmits its current list over each incident edge; the
     // per-edge pipeline makes an iteration cost max_v |x_v| rounds.
-    run.rounds_iterations += max_list_size(engine.states());
+    run.rounds_iterations += sizes.max();
     const bool changed = engine.step();
+    sizes.apply(engine.frontier(), engine.states());
     ++run.le.iterations;
     if (!changed) {
       run.le.converged = true;
@@ -145,25 +189,37 @@ SkeletonRun congest_frt_skeleton(const Graph& g, const SkeletonOptions& opts,
 
   // Jump start: x̄⁽⁰⁾ = r^V A^{|S|}_{G'_S} x⁽⁰⁾ — local computation (the
   // spanner is global knowledge), zero rounds.  Simulated by iterating the
-  // LE algebra on the spanner edges (non-skeleton vertices stay singleton).
+  // LE algebra on the spanner edges.  Non-skeleton vertices are isolated
+  // in the spanner graph — they stay singleton and make no offers — so the
+  // engine starts from the skeleton support instead of a full frontier.
   const LeListAlgebra alg;
   std::vector<WeightedEdge> spanner_on_v;
   for (const auto& e : spanner.spanner.edge_list()) {
     spanner_on_v.push_back(WeightedEdge{skeleton[e.u], skeleton[e.v], e.weight});
   }
   const Graph spanner_graph = Graph::from_edges(n, std::move(spanner_on_v));
-  auto jump = mbf_run(spanner_graph, alg, le_initial_state(out.order),
-                      static_cast<unsigned>(skeleton.size()) + 1);
+  MbfEngine<LeListAlgebra> jump_engine(spanner_graph, alg);
+  std::vector<Vertex> jump_frontier;
+  for (Vertex v = 0; v < n; ++v) {
+    if (spanner_graph.degree(v) > 0) jump_frontier.push_back(v);
+  }
+  jump_engine.reset_with_frontier(le_initial_state(out.order),
+                                  std::move(jump_frontier));
+  for (std::size_t i = 0; i <= skeleton.size(); ++i) {
+    if (!jump_engine.step()) break;
+  }
 
   // Finish: ℓ iterations of r^V A_{G,2k−1} (Equation (8.10)); each costs
   // max_v |x_v| rounds as in the Khan algorithm.  The jump-start states
-  // are the filtered mbf_run output, so the initial filter is skipped.
+  // are already filtered fixpoint states, so the initial filter is skipped.
   MbfEngine<LeListAlgebra> engine(
-      g, alg, std::move(jump.states),
+      g, alg, jump_engine.take_states(),
       MbfOptions{.weight_scale = alpha, .filter_initial = false});
+  ListSizeTracker sizes(engine.states());
   for (unsigned i = 0; i < ell; ++i) {
-    run.rounds_iterations += max_list_size(engine.states());
+    run.rounds_iterations += sizes.max();
     const bool changed = engine.step();
+    sizes.apply(engine.frontier(), engine.states());
     ++run.le.iterations;
     if (!changed) {
       run.le.converged = true;

@@ -49,7 +49,7 @@ LeListsResult le_lists_iteration(const Graph& g, const VertexOrder& order,
 
 LeListsResult le_lists_oracle(const SimulatedGraph& h,
                               const VertexOrder& order,
-                              unsigned max_h_iterations) {
+                              unsigned max_h_iterations, MbfOptions opts) {
   PMTE_CHECK(order.n() == h.num_vertices(), "order size mismatch");
   if (max_h_iterations == 0) {
     // SPD(H) ∈ O(log² n) w.h.p. (Theorem 4.5); the fixpoint check stops us
@@ -62,12 +62,15 @@ LeListsResult le_lists_oracle(const SimulatedGraph& h,
   const LeListAlgebra alg;
   OracleStats stats;
   auto run = oracle_run(h, alg, le_initial_state(order), max_h_iterations,
-                        &stats);
+                        &stats, opts);
   LeListsResult r;
   r.lists = std::move(run.states);
   r.iterations = stats.h_iterations;
   r.base_iterations = stats.base_iterations;
   r.converged = stats.reached_fixpoint;
+  r.levels_skipped = stats.levels_skipped;
+  r.levels_warm = stats.levels_warm;
+  r.levels_full = stats.levels_full;
   return r;
 }
 

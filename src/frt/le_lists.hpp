@@ -70,6 +70,10 @@ struct LeListsResult {
   unsigned iterations = 0;         ///< MBF-like iterations executed
   unsigned base_iterations = 0;    ///< iterations on G' (oracle pipeline)
   bool converged = false;
+  /// Oracle-pipeline level-reuse accounting (zero elsewhere).
+  unsigned levels_skipped = 0;
+  unsigned levels_warm = 0;
+  unsigned levels_full = 0;
 };
 
 /// Khan-et-al style pipeline (Section 8.1): iterate r^V A_G directly to the
@@ -79,10 +83,14 @@ struct LeListsResult {
                                                unsigned max_iterations = 0);
 
 /// The paper's pipeline (Theorem 7.9): run the LE algebra on the simulated
-/// graph H through the oracle — O(log² n) H-iterations w.h.p.
+/// graph H through the oracle — O(log² n) H-iterations w.h.p.  Levels are
+/// reused across H-iterations (skips + warm restarts, see mbf_oracle.hpp);
+/// pass `opts` with `oracle_level_reuse = false` for the pre-reuse
+/// reference path (bit-identical lists, asymptotically more relaxations).
 [[nodiscard]] LeListsResult le_lists_oracle(const SimulatedGraph& h,
                                             const VertexOrder& order,
-                                            unsigned max_h_iterations = 0);
+                                            unsigned max_h_iterations = 0,
+                                            MbfOptions opts = {});
 
 /// Sequential baseline (Cohen [12] / Mendel–Schwob [33] style): sources in
 /// ascending rank order, pruned Dijkstras.  Exact; O(m log² n) expected.

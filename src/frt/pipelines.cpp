@@ -41,6 +41,9 @@ FrtSample finish_sample(LeListsResult le, VertexOrder order, double beta,
   s.beta = beta;
   s.iterations = le.iterations;
   s.base_iterations = le.base_iterations;
+  s.levels_skipped = le.levels_skipped;
+  s.levels_warm = le.levels_warm;
+  s.levels_full = le.levels_full;
   s.max_list_length = max_list_length(le);
   s.tree = FrtTree::build(le.lists, order, beta, dist_min_hint, opts.rule);
   s.order = std::move(order);
@@ -88,7 +91,7 @@ FrtSample sample_frt_oracle_on(const SimulatedGraph& h, Rng& rng,
   const WorkDepthScope scope;
   const double beta = sample_beta(rng);
   auto order = VertexOrder::random(h.num_vertices(), rng);
-  auto le = le_lists_oracle(h, order, opts.max_iterations);
+  auto le = le_lists_oracle(h, order, opts.max_iterations, opts.mbf);
   // Distances in H lower-bound to the minimum edge weight of G' (every H
   // edge weighs (1+ε̂)^{≥0}·dist^d ≥ dist ≥ min edge weight).
   return finish_sample(std::move(le), std::move(order), beta,

@@ -34,6 +34,9 @@ struct FrtOptions {
   double eps_hat = 0.0;
   HubHopSetParams hopset;
   unsigned max_iterations = 0;  ///< 0 = automatic bound
+  /// Engine/oracle tunables (P-H pipeline): mode, density threshold, and
+  /// `oracle_level_reuse` — false selects the pre-reuse reference oracle.
+  MbfOptions mbf;
 };
 
 /// One sampled tree plus run metadata (depth/work proxies for E4).
@@ -49,6 +52,10 @@ struct FrtSample {
   double seconds = 0.0;
   std::size_t hopset_edges = 0;
   std::size_t max_list_length = 0;  ///< for Lemma 7.6 checks
+  /// Oracle level-reuse accounting (P-H pipeline; zero elsewhere).
+  unsigned levels_skipped = 0;
+  unsigned levels_warm = 0;
+  unsigned levels_full = 0;
 };
 
 /// P-G: direct fixpoint iteration on G.

@@ -148,6 +148,13 @@ struct MbfOptions {
   /// Apply r^V to x⁽⁰⁾ on construction/reset (harmless by Corollary 2.17;
   /// disable when x⁽⁰⁾ is known to be filtered already).
   bool filter_initial = true;
+  /// Consumed by the oracle (mbf_oracle.hpp), ignored by MbfEngine itself:
+  /// reuse the per-level engine states across H-iterations (warm restarts
+  /// from cached per-level fixpoints, wholesale skips of levels whose
+  /// projected input did not change).  false restores the pre-reuse
+  /// behaviour — a fresh full-frontier run per level — which is kept
+  /// compilable as the reference for differential tests.
+  bool oracle_level_reuse = true;
 };
 
 /// Result of running an MBF-like algorithm to fixpoint / iteration budget.
@@ -197,6 +204,26 @@ class MbfEngine {
     if (opts_.filter_initial) mbf_filter(*alg_, cur_);
     frontier_.clear();
     frontier_all_ = true;
+    iterations_ = 0;
+  }
+
+  /// Install x⁽⁰⁾ together with an explicit initial frontier (sorted
+  /// ascending, duplicate-free) instead of the implicit all-vertices one.
+  /// No initial filter is applied.  Exactness is the *caller's* contract:
+  /// every state must already be filtered, and every vertex outside
+  /// `frontier` must be unable to change or make a changing offer in the
+  /// first step — either its state is ⊥ (⊥ offers aggregate to nothing),
+  /// or the states are a fixpoint of this engine under the same weight
+  /// scale and only `frontier` vertices were modified since.  The oracle
+  /// (mbf_oracle.hpp) uses both shapes: support-seeded level starts and
+  /// warm restarts from cached per-level fixpoints.
+  void reset_with_frontier(std::vector<State> x0,
+                           std::vector<Vertex> frontier) {
+    PMTE_CHECK(x0.size() == g_->num_vertices(),
+               "MbfEngine: state vector size mismatch");
+    cur_ = std::move(x0);
+    frontier_ = std::move(frontier);
+    frontier_all_ = false;
     iterations_ = 0;
   }
 
@@ -271,16 +298,18 @@ class MbfEngine {
   void dense_round() {
     const Vertex n = g_->num_vertices();
     const double scale = opts_.weight_scale;
-    parallel_for(n, [&](std::size_t vi) {
-      const auto v = static_cast<Vertex>(vi);
-      State& acc = out_[vi];
-      acc = cur_[vi];  // diagonal: 1 ⊙ x_v = x_v   (2.1)
-      for (const auto& e : g_->neighbors(v)) {
-        alg_->relax(acc, e.weight * scale, e.to, v, cur_[e.to]);
-      }
-      alg_->filter(acc);
-      changed_[vi] = alg_->equal(acc, cur_[vi]) ? 0 : 1;
-    });
+    parallel_for_balanced(
+        n, [&](std::size_t vi) { return g_->degree(static_cast<Vertex>(vi)); },
+        [&](std::size_t vi) {
+          const auto v = static_cast<Vertex>(vi);
+          State& acc = out_[vi];
+          acc = cur_[vi];  // diagonal: 1 ⊙ x_v = x_v   (2.1)
+          for (const auto& e : g_->neighbors(v)) {
+            alg_->relax(acc, e.weight * scale, e.to, v, cur_[e.to]);
+          }
+          alg_->filter(acc);
+          changed_[vi] = alg_->equal(acc, cur_[vi]) ? 0 : 1;
+        });
     const auto half_edges = static_cast<std::uint64_t>(2 * g_->num_edges());
     WorkDepth::add_relaxations(half_edges);
     WorkDepth::add_edges_touched(half_edges);
@@ -312,23 +341,25 @@ class MbfEngine {
     });
     buffers_.drain_sorted_unique(affected_);
 
-    parallel_for(affected_.size(), [&](std::size_t i) {
-      const Vertex v = affected_[i];
-      State& acc = out_[v];
-      acc = cur_[v];
-      std::uint64_t relaxed = 0;
-      for (const auto& e : g_->neighbors(v)) {
-        if (in_frontier_[e.to]) {
-          alg_->relax(acc, e.weight * scale, e.to, v, cur_[e.to]);
-          ++relaxed;
-        }
-      }
-      alg_->filter(acc);
-      changed_[v] = alg_->equal(acc, cur_[v]) ? 0 : 1;
-      WorkDepth::add_relaxations(relaxed);
-      WorkDepth::add_edges_touched(
-          static_cast<std::uint64_t>(g_->degree(v)));
-    });
+    parallel_for_balanced(
+        affected_.size(), [&](std::size_t i) { return g_->degree(affected_[i]); },
+        [&](std::size_t i) {
+          const Vertex v = affected_[i];
+          State& acc = out_[v];
+          acc = cur_[v];
+          std::uint64_t relaxed = 0;
+          for (const auto& e : g_->neighbors(v)) {
+            if (in_frontier_[e.to]) {
+              alg_->relax(acc, e.weight * scale, e.to, v, cur_[e.to]);
+              ++relaxed;
+            }
+          }
+          alg_->filter(acc);
+          changed_[v] = alg_->equal(acc, cur_[v]) ? 0 : 1;
+          WorkDepth::add_relaxations(relaxed);
+          WorkDepth::add_edges_touched(
+              static_cast<std::uint64_t>(g_->degree(v)));
+        });
 
     parallel_for(frontier_.size(),
                  [&](std::size_t i) { in_frontier_[frontier_[i]] = 0; });

@@ -73,6 +73,61 @@ void parallel_for(std::size_t n, Body&& body, std::size_t grain = 64) {
   for (std::size_t i = 0; i < n; ++i) body(i);
 }
 
+/// Parallel loop over [0, n) where iteration i costs ≈ cost(i) units (for
+/// the engine: a vertex's degree).  schedule(dynamic, grain) deals badly
+/// with skewed costs — a star centre makes one 64-iteration chunk carry
+/// almost all the work while every other chunk finishes instantly.  Here a
+/// serial greedy scan cuts [0, n) into contiguous chunks of near-equal
+/// *total cost* (several per thread, so dynamic scheduling can still
+/// rebalance), and the chunks are dispatched dynamically.  Each index runs
+/// exactly once, in ascending order within its chunk, so outputs written
+/// per index and WorkDepth counters are bit-identical to the serial loop
+/// and to parallel_for — only the thread assignment changes.
+template <typename CostFn, typename Body>
+void parallel_for_balanced(std::size_t n, CostFn&& cost, Body&& body,
+                           std::uint64_t min_chunk_cost = 512) {
+#ifdef _OPENMP
+  if (n >= 2 && omp_get_max_threads() > 1 && !in_parallel()) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += static_cast<std::uint64_t>(cost(i)) + 1;  // +1: item overhead
+    }
+    const auto threads = static_cast<std::uint64_t>(omp_get_max_threads());
+    const std::uint64_t target =
+        std::max<std::uint64_t>(min_chunk_cost, total / (8 * threads) + 1);
+    if (total > 2 * target) {
+      // Chunk boundaries: cut whenever the running cost reaches `target`.
+      std::vector<std::size_t> starts;
+      starts.reserve(static_cast<std::size_t>(total / target) + 2);
+      std::uint64_t acc = 0;
+      starts.push_back(0);
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += static_cast<std::uint64_t>(cost(i)) + 1;
+        if (acc >= target && i + 1 < n) {
+          starts.push_back(i + 1);
+          acc = 0;
+        }
+      }
+      starts.push_back(n);
+      const auto chunks = static_cast<std::int64_t>(starts.size() - 1);
+#pragma omp parallel for schedule(dynamic, 1)
+      for (std::int64_t c = 0; c < chunks; ++c) {
+        const std::size_t hi = starts[static_cast<std::size_t>(c) + 1];
+        for (std::size_t i = starts[static_cast<std::size_t>(c)]; i < hi;
+             ++i) {
+          body(i);
+        }
+      }
+      return;
+    }
+  }
+#else
+  (void)cost;
+  (void)min_chunk_cost;
+#endif
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
 /// Parallel sum-reduction of body(i) over [0, n).
 template <typename Body>
 double parallel_reduce_sum(std::size_t n, Body&& body) {

@@ -1,0 +1,58 @@
+#pragma once
+// Shared graph fixtures for the test suites.
+//
+// Before this library every suite carried its own copy of the family
+// switch, the small-graph corpus, and the seed plumbing; tests now share
+// one deterministic source so fixtures, seeds, and family coverage stay in
+// sync across suites.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/graph.hpp"
+#include "src/hopset/hopset.hpp"
+#include "src/simgraph/simulated_graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace pmte::test {
+
+/// Deterministic per-case seeds: splitmix64 of (base, index) — well spread
+/// even for consecutive bases, unlike base + index.
+[[nodiscard]] std::vector<std::uint64_t> test_seeds(std::size_t count,
+                                                    std::uint64_t base);
+
+/// A graph by family name, seeded.  Families: "path", "cycle", "grid",
+/// "star", "gnm", "geometric", "binary_tree", "powerlaw", "cliquechain".
+[[nodiscard]] Graph support_graph(const std::string& family, Vertex n,
+                                  std::uint64_t seed);
+
+/// Preferential-attachment (Barabási–Albert style) graph: vertex i ≥
+/// attach connects to `attach` distinct earlier vertices drawn
+/// proportionally to degree.  Heavily skewed degrees — the adversarial
+/// family for edge-balanced chunking (a few hubs carry most half-edges).
+[[nodiscard]] Graph make_powerlaw(Vertex n, unsigned attach,
+                                  std::uint64_t seed);
+
+/// One corpus entry for randomized property tests.
+struct SmallGraphCase {
+  std::string name;     ///< family plus index, for failure messages
+  Graph graph;          ///< connected, n ∈ [8, 64]
+  std::uint64_t seed;   ///< per-case seed for downstream randomness
+};
+
+/// A deterministic corpus of `count` small connected graphs cycling
+/// through the families above with varying sizes and weights.
+[[nodiscard]] std::vector<SmallGraphCase> small_graph_corpus(
+    std::size_t count, std::uint64_t base_seed);
+
+/// Build the simulated graph H for `g` the way the pipelines do: hub hop
+/// set (or the exact d = 1 hop set, keeping oracle arithmetic bit-exact)
+/// plus sampled levels.  `eps_hat` = 0 keeps all level scales at 1.0.
+[[nodiscard]] SimulatedGraph make_test_simgraph(const Graph& g,
+                                                std::uint64_t seed,
+                                                bool exact_hopset = true,
+                                                double eps_hat = 0.0);
+
+}  // namespace pmte::test

@@ -1,0 +1,43 @@
+#include "tests/support/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/shortest_paths.hpp"
+
+namespace pmte::test {
+
+std::vector<Weight> dijkstra_reference(const Graph& g, Vertex source) {
+  return dijkstra(g, source).dist;
+}
+
+std::vector<DistanceMap> brute_force_le_lists(const Graph& g,
+                                              const VertexOrder& order) {
+  const Vertex n = g.num_vertices();
+  const auto apsp = exact_apsp(g);
+  std::vector<DistanceMap> lists(n);
+  for (Vertex v = 0; v < n; ++v) {
+    std::vector<DistEntry> entries;
+    for (Vertex w = 0; w < n; ++w) {
+      const Weight d = apsp[static_cast<std::size_t>(v) * n + w];
+      if (is_finite(d)) entries.push_back(DistEntry{order.rank_of[w], d});
+    }
+    auto m = DistanceMap::from_entries(std::move(entries));
+    m.keep_least_elements();
+    lists[v] = std::move(m);
+  }
+  return lists;
+}
+
+void expect_valid_le_lists(const std::vector<DistanceMap>& lists,
+                           const VertexOrder& order) {
+  ASSERT_EQ(lists.size(), order.n());
+  for (Vertex v = 0; v < order.n(); ++v) {
+    EXPECT_TRUE(lists[v].is_least_element_list()) << "vertex " << v;
+    // Own entry at distance 0.
+    EXPECT_DOUBLE_EQ(lists[v].at(order.rank_of[v]), 0.0) << "vertex " << v;
+    // Rank-0 vertex present in every list of a connected graph.
+    EXPECT_TRUE(is_finite(lists[v].at(0))) << "vertex " << v;
+  }
+}
+
+}  // namespace pmte::test

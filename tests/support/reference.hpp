@@ -1,0 +1,29 @@
+#pragma once
+// Brute-force reference oracles shared by the test suites: Dijkstra
+// distances, exact APSP-based LE lists, and the structural LE-list
+// validator — previously copied per suite.
+
+#include <vector>
+
+#include "src/algebra/distance_map.hpp"
+#include "src/frt/le_lists.hpp"
+#include "src/graph/graph.hpp"
+
+namespace pmte::test {
+
+/// Reference single-source distances (binary-heap Dijkstra).
+[[nodiscard]] std::vector<Weight> dijkstra_reference(const Graph& g,
+                                                     Vertex source);
+
+/// Brute-force LE lists from exact APSP: per vertex collect every finite
+/// (rank, distance) pair and apply the least-element filter — Θ(n² log n).
+[[nodiscard]] std::vector<DistanceMap> brute_force_le_lists(
+    const Graph& g, const VertexOrder& order);
+
+/// Structural LE-list invariants: staircase property, own entry at
+/// distance 0, rank-0 vertex present (connected graphs).  Reports gtest
+/// failures on violation.
+void expect_valid_le_lists(const std::vector<DistanceMap>& lists,
+                           const VertexOrder& order);
+
+}  // namespace pmte::test

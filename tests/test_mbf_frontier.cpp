@@ -15,6 +15,8 @@
 #include "src/graph/generators.hpp"
 #include "src/mbf/algebras.hpp"
 #include "src/mbf/engine.hpp"
+#include "src/parallel/counters.hpp"
+#include "tests/support/fixtures.hpp"
 
 namespace pmte {
 namespace {
@@ -53,17 +55,8 @@ void cross_check(const Graph& g, const Algebra& alg,
 }
 
 Graph family_graph(const std::string& family, Vertex n, std::uint64_t seed) {
-  Rng rng(seed);
-  if (family == "er") {
-    return make_gnm(n, 3 * static_cast<std::size_t>(n), {1.0, 4.0}, rng);
-  }
-  if (family == "grid") {
-    Vertex side = 1;
-    while (side * side < n) ++side;
-    return make_grid(side, side, {1.0, 3.0}, rng);
-  }
-  if (family == "star") return make_star(n, {1.0, 5.0}, rng);
-  return make_path(n, {1.0, 2.0}, rng);
+  // Shared fixtures (tests/support): "er" is the historical local alias.
+  return test::support_graph(family == "er" ? "gnm" : family, n, seed);
 }
 
 class FrontierEquivalence
@@ -179,6 +172,51 @@ TEST(FrontierEquivalence, EngineResetReusesBuffers) {
       EXPECT_EQ(engine.states()[v], expect.states[v]) << "vertex " << v;
     }
   }
+}
+
+TEST(FrontierEquivalence, BalancedChunkingIsThreadDeterministic) {
+  // The engine's rounds now run through parallel_for_balanced; on skewed
+  // degree distributions (star centre, power-law hubs) the chunk layout
+  // differs per thread count, but states AND WorkDepth counters must stay
+  // bit-identical — the chunking only re-partitions, never re-orders the
+  // logical work.
+  const int restore = num_threads();
+  for (const char* family : {"star", "powerlaw"}) {
+    const auto g = test::support_graph(family, 2048, 909);
+    Rng rng(910);
+    const auto order = VertexOrder::random(g.num_vertices(), rng);
+    const LeListAlgebra alg;
+    const auto x0 = le_initial_state(order);
+
+    std::vector<DistanceMap> ref_states;
+    std::uint64_t ref_relax = 0;
+    std::uint64_t ref_edges = 0;
+    for (const int threads : {1, 2, 8}) {
+      set_num_threads(threads);
+      for (const MbfMode mode : {MbfMode::kAuto, MbfMode::kSparse}) {
+        const WorkDepthScope scope;
+        auto run = mbf_run(g, alg, x0, g.num_vertices(), 1.0, mode);
+        ASSERT_TRUE(run.reached_fixpoint) << family;
+        if (ref_states.empty()) {
+          ref_states = std::move(run.states);
+          ref_relax = scope.relaxations_delta();
+          ref_edges = scope.edges_touched_delta();
+          continue;
+        }
+        if (mode == MbfMode::kAuto) {
+          EXPECT_EQ(scope.relaxations_delta(), ref_relax)
+              << family << " @ " << threads;
+          EXPECT_EQ(scope.edges_touched_delta(), ref_edges)
+              << family << " @ " << threads;
+        }
+        for (Vertex v = 0; v < g.num_vertices(); ++v) {
+          EXPECT_EQ(run.states[v], ref_states[v])
+              << family << " @ " << threads << " vertex " << v;
+        }
+      }
+    }
+  }
+  set_num_threads(restore);
 }
 
 }  // namespace

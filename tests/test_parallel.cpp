@@ -24,6 +24,57 @@ TEST(Parallel, ForHandlesSmallRangesSerially) {
   EXPECT_EQ(count, 10);
 }
 
+TEST(Parallel, BalancedForCoversEveryIndexOnce) {
+  // Skewed costs (one huge item, many tiny ones) and zero costs must not
+  // change coverage: every index exactly once.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                              std::size_t{1000}, std::size_t{10000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for_balanced(
+        n, [&](std::size_t i) { return i == 0 ? 100000 : i % 3; },
+        [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(Parallel, BalancedForMatchesPlainForAcrossThreadCounts) {
+  const int restore = num_threads();
+  const std::size_t n = 5000;
+  std::vector<double> reference(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reference[i] = static_cast<double>(i) * 1.5 + 1.0;
+  }
+  for (const int threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    std::vector<double> out(n, 0.0);
+    parallel_for_balanced(
+        n, [&](std::size_t i) { return (i * 37) % 101; },
+        [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5 + 1.0; });
+    EXPECT_EQ(out, reference) << "threads " << threads;
+  }
+  set_num_threads(restore);
+}
+
+TEST(Parallel, BalancedForCountersAreThreadCountInvariant) {
+  // WorkDepth adds from inside a balanced loop must total the same at any
+  // thread count — the counters are logical-operation counts.
+  const int restore = num_threads();
+  const std::size_t n = 4000;
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) expected += i % 17;
+  for (const int threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    const WorkDepthScope scope;
+    parallel_for_balanced(
+        n, [&](std::size_t i) { return i % 17; },
+        [&](std::size_t i) { WorkDepth::add_relaxations(i % 17); });
+    EXPECT_EQ(scope.relaxations_delta(), expected) << "threads " << threads;
+  }
+  set_num_threads(restore);
+}
+
 TEST(Parallel, ReduceSum) {
   const double s =
       parallel_reduce_sum(1000, [](std::size_t i) { return double(i); });
