@@ -1,0 +1,154 @@
+// E-serve — the serving layer: FRT-ensemble build cost and batched O(1)
+// query throughput (src/serve/).
+//
+// Claims carried: FrtIndex::distance is O(1) (two sparse-table probes per
+// query, counted exactly), ensembles amortise one hop set across k trees,
+// and batch serving is embarrassingly parallel with bit-identical outputs
+// at any thread count.
+//
+// `--counters` emits deterministic WorkDepth / serving counters for the CI
+// bench gate (the fourth gated baseline, BENCH_serve.json): ensemble build
+// work on fixed graphs plus per-workload query counters (queries, per-tree
+// lookups, LCA probes).  result_hash32 additionally pins the served
+// distances bit-for-bit (ungated, but any drift shows in the JSON diff).
+
+#include <cstring>
+
+#include "bench/bench_common.hpp"
+#include "src/parallel/counters.hpp"
+#include "src/serve/frt_ensemble.hpp"
+#include "src/serve/workloads.hpp"
+
+namespace pmte::bench {
+namespace {
+
+CounterScenario build_scenario(const std::string& name, const Graph& g,
+                               std::uint64_t seed, std::size_t trees,
+                               serve::EnsemblePipeline pipeline,
+                               serve::FrtEnsemble* keep = nullptr) {
+  WorkDepth::reset();
+  serve::EnsembleOptions opts;
+  opts.trees = trees;
+  opts.pipeline = pipeline;
+  auto e = serve::FrtEnsemble::build(g, seed, opts);
+  const auto& st = e.build_stats();
+  CounterScenario s{name,
+                    {{"relaxations", st.relaxations},
+                     {"edges_touched", st.edges_touched},
+                     {"work", st.work},
+                     {"iterations", st.iterations},
+                     {"index_nodes", st.index_nodes},
+                     {"trees", trees}}};
+  if (keep) *keep = std::move(e);
+  return s;
+}
+
+CounterScenario query_scenario(const std::string& name,
+                               const serve::FrtEnsemble& e, const Graph& g,
+                               serve::WorkloadKind kind,
+                               serve::AggregatePolicy policy,
+                               std::size_t pairs, std::uint64_t seed) {
+  Rng rng(seed);
+  serve::WorkloadOptions wopts;
+  wopts.pairs = pairs;
+  const auto workload = serve::make_workload(g, kind, wopts, rng);
+  std::vector<Weight> out;
+  const auto st = e.query_batch(workload, policy, out);
+  // FNV-1a over the served bit patterns, folded to 32 bits so the value
+  // survives double-precision JSON rewriting.
+  std::uint64_t hash = kFnv1aInit;
+  for (const Weight d : out) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    hash = fnv1a_fold(hash, bits);
+  }
+  return CounterScenario{name,
+                         {{"queries", st.pairs},
+                          {"tree_lookups", st.tree_lookups},
+                          {"lca_probes", st.lca_probes},
+                          {"result_hash32", (hash >> 32) ^ (hash & 0xffffffffULL)}}};
+}
+
+void run_counters() {
+  std::vector<CounterScenario> scenarios;
+  Rng grng(42);
+  const auto gnm = make_gnm(512, 1536, {1.0, 4.0}, grng);
+  serve::FrtEnsemble served;
+  scenarios.push_back(build_scenario("serve_build_oracle_gnm_512", gnm, 3001,
+                                     4, serve::EnsemblePipeline::oracle,
+                                     &served));
+  scenarios.push_back(build_scenario("serve_build_direct_gnm_512", gnm, 3001,
+                                     4, serve::EnsemblePipeline::direct));
+  scenarios.push_back(build_scenario("serve_build_oracle_path_1024",
+                                     make_path(1024), 3002, 2,
+                                     serve::EnsemblePipeline::oracle));
+  scenarios.push_back(query_scenario("serve_query_uniform_min", served, gnm,
+                                     serve::WorkloadKind::uniform,
+                                     serve::AggregatePolicy::min, 200000,
+                                     3003));
+  scenarios.push_back(query_scenario("serve_query_zipf_median", served, gnm,
+                                     serve::WorkloadKind::zipf,
+                                     serve::AggregatePolicy::median, 200000,
+                                     3004));
+  scenarios.push_back(query_scenario("serve_query_bfs_local_min", served,
+                                     gnm, serve::WorkloadKind::bfs_local,
+                                     serve::AggregatePolicy::min, 200000,
+                                     3005));
+  emit_counters(std::cout, scenarios);
+}
+
+void run(const Cli& cli) {
+  print_header(
+      "E-serve: ensemble serving throughput",
+      "O(1) LCA-based tree-distance queries; k-tree ensembles cut the "
+      "served stretch (Blelloch-Gu-Sun style) at k flat lookups per query");
+  const Vertex n = quick(cli) ? 1024 : 4096;
+  const std::size_t queries = quick(cli) ? 100000 : 1000000;
+  Rng rng(cli.seed());
+
+  Table t({"family", "n", "trees", "build [ms]", "workload", "policy",
+           "queries", "Mq/s", "ns/query"});
+  for (const auto* family : {"gnm", "grid", "geometric"}) {
+    auto inst = make_instance(family, n, rng());
+    serve::EnsembleOptions opts;
+    opts.trees = 8;
+    opts.pipeline = serve::EnsemblePipeline::direct;
+    const auto e = serve::FrtEnsemble::build(inst.graph, rng(), opts);
+    const double build_ms = e.build_stats().seconds * 1e3;
+    for (const auto kind :
+         {serve::WorkloadKind::uniform, serve::WorkloadKind::bfs_local,
+          serve::WorkloadKind::zipf}) {
+      serve::WorkloadOptions wopts;
+      wopts.pairs = queries;
+      Rng wrng(rng());
+      const auto pairs = serve::make_workload(inst.graph, kind, wopts, wrng);
+      for (const auto policy :
+           {serve::AggregatePolicy::min, serve::AggregatePolicy::median}) {
+        std::vector<Weight> out;
+        Timer timer;
+        (void)e.query_batch(pairs, policy, out);
+        const double s = timer.seconds();
+        t.add_row({inst.name, cell(std::size_t{inst.graph.num_vertices()}),
+                   cell(e.num_trees()), cell(build_ms),
+                   serve::workload_name(kind), serve::policy_name(policy),
+                   cell(pairs.size()),
+                   cell(static_cast<double>(pairs.size()) / s / 1e6),
+                   cell(s * 1e9 / static_cast<double>(pairs.size()))});
+      }
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pmte::bench
+
+int main(int argc, char** argv) {
+  if (pmte::bench::wants_counters(argc, argv)) {
+    pmte::bench::run_counters();
+    return 0;
+  }
+  const pmte::Cli cli(argc, argv);
+  pmte::bench::run(cli);
+  return 0;
+}

@@ -23,7 +23,8 @@ After an intentional algorithmic change, regenerate the baseline with
   build/bench/bench_<name> --counters      (see scripts/run_benches.sh)
 and commit the updated BENCH_<name>.json.  Gated baselines: micro_ops
 (engine micro scenarios), le_lists and frt_pipelines (the sparse oracle /
-FRT pipeline scenarios).
+FRT pipeline scenarios), and serve (ensemble build work + batch-query
+counters: queries, per-tree lookups, sparse-table LCA probes).
 """
 
 import argparse
@@ -31,7 +32,8 @@ import json
 import sys
 
 GATED_METRICS = ("relaxations", "edges_touched", "work", "depth",
-                 "iterations", "base_iterations")
+                 "iterations", "base_iterations",
+                 "queries", "tree_lookups", "lca_probes")
 
 
 def load_scenarios(path):

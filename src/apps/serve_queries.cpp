@@ -1,0 +1,159 @@
+// serve_queries — build (or load) a flat FRT-ensemble distance index and
+// replay a query workload against it, reporting throughput.
+//
+//   ./serve_queries [--graph=gnm] [--n=4096] [--seed=42] [--trees=8]
+//                   [--pipeline=oracle|direct|sequential]
+//                   [--policy=min|median]
+//                   [--workload=uniform|bfs_local|zipf] [--queries=200000]
+//                   [--zipf-s=1.1] [--repeat=3]
+//                   [--save=FILE] [--load=FILE] [--threads=N] [--roundtrip]
+//
+// The embedding lifecycle end to end: sample k FRT trees (one master
+// seed, split per tree), compact them into O(1)-query FrtIndex layouts,
+// optionally persist/restore the whole ensemble in the versioned binary
+// format, then serve batched pair queries via the parallel batch API.
+// --roundtrip additionally pushes the ensemble through an in-memory
+// save→load cycle and fails loudly if anything changes.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/graph/generators.hpp"
+#include "src/serve/frt_ensemble.hpp"
+#include "src/serve/workloads.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace pmte;
+
+serve::EnsemblePipeline parse_pipeline(const std::string& name) {
+  if (name == "oracle") return serve::EnsemblePipeline::oracle;
+  if (name == "direct") return serve::EnsemblePipeline::direct;
+  if (name == "sequential") return serve::EnsemblePipeline::sequential;
+  std::cerr << "unknown pipeline: " << name << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto threads = cli.get_int("threads", 0);
+  if (threads > 0) set_num_threads(static_cast<int>(threads));
+
+  const auto family = cli.get("graph", "gnm");
+  const auto n = static_cast<Vertex>(cli.get_int("n", 4096));
+  const std::uint64_t seed = cli.seed(42);
+  // The shared family dispatcher: a (family, n, seed) triple names the
+  // same graph here, in the test fixtures, and across runs — which is
+  // what makes the persisted fingerprint check on --load meaningful.
+  const Graph g = make_family_graph(family, n, seed);
+  std::cout << "graph: " << family << ", " << g.num_vertices()
+            << " vertices, " << g.num_edges() << " edges\n";
+
+  // --- Build or load the ensemble. ---------------------------------------
+  serve::FrtEnsemble ensemble;
+  const auto load_path = cli.get("load", "");
+  if (!load_path.empty()) {
+    std::ifstream in(load_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << load_path << "\n";
+      return 1;
+    }
+    const Timer t;
+    ensemble = serve::FrtEnsemble::load(in);
+    std::cout << "loaded " << ensemble.num_trees() << "-tree ensemble from "
+              << load_path << " in " << t.millis() << " ms\n";
+    if (ensemble.num_vertices() != g.num_vertices()) {
+      std::cerr << "ensemble was built for " << ensemble.num_vertices()
+                << " vertices, graph has " << g.num_vertices() << "\n";
+      return 1;
+    }
+    // The persisted fingerprint pins the exact graph (structure + weight
+    // bits); refusing a mismatch beats silently serving another graph's
+    // distances.
+    if (ensemble.graph_fingerprint() !=
+        serve::FrtEnsemble::fingerprint(g)) {
+      std::cerr << "ensemble fingerprint does not match this graph — it "
+                   "was built over a different graph/seed/family\n";
+      return 1;
+    }
+  } else {
+    serve::EnsembleOptions opts;
+    opts.trees = static_cast<std::size_t>(cli.get_int("trees", 8));
+    opts.pipeline = parse_pipeline(cli.get("pipeline", "oracle"));
+    ensemble = serve::FrtEnsemble::build(g, seed, opts);
+    const auto& st = ensemble.build_stats();
+    std::cout << "built " << ensemble.num_trees() << " trees ("
+              << cli.get("pipeline", "oracle") << ") in "
+              << st.seconds * 1e3 << " ms: " << st.index_nodes
+              << " flat nodes, " << st.relaxations << " relaxations, "
+              << st.work << " semiring ops\n";
+  }
+
+  const auto save_path = cli.get("save", "");
+  if (!save_path.empty()) {
+    std::ofstream out(save_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open " << save_path << " for writing\n";
+      return 1;
+    }
+    ensemble.save(out);
+    std::cout << "saved ensemble to " << save_path << " ("
+              << out.tellp() << " bytes)\n";
+  }
+
+  if (cli.has("roundtrip")) {
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    ensemble.save(buf);
+    const auto reloaded = serve::FrtEnsemble::load(buf);
+    if (!(reloaded == ensemble)) {
+      std::cerr << "FATAL: save->load round-trip changed the ensemble\n";
+      return 1;
+    }
+    std::cout << "round-trip OK (" << buf.str().size() << " bytes)\n";
+  }
+
+  // --- Replay the workload. ----------------------------------------------
+  serve::WorkloadOptions wopts;
+  wopts.pairs = static_cast<std::size_t>(cli.get_int("queries", 200000));
+  wopts.zipf_s = cli.get_double("zipf-s", 1.1);
+  const auto kind = serve::parse_workload(cli.get("workload", "uniform"));
+  // Stream ids ≥ 2^32 are reserved for non-tree consumers of the master
+  // seed (tree slots use 0..k), so workload draws never alias tree draws.
+  Rng workload_rng(split_seed(seed, std::uint64_t{1} << 32));
+  const auto pairs = serve::make_workload(g, kind, wopts, workload_rng);
+  const auto policy = serve::parse_policy(cli.get("policy", "min"));
+
+  const auto repeat = std::max<std::int64_t>(1, cli.get_int("repeat", 3));
+  std::vector<Weight> out;
+  serve::FrtEnsemble::BatchStats stats;
+  double best_seconds = 0.0;
+  for (std::int64_t r = 0; r < repeat; ++r) {
+    const Timer t;
+    stats = ensemble.query_batch(pairs, policy, out);
+    const double s = t.seconds();
+    if (r == 0 || s < best_seconds) best_seconds = s;
+  }
+
+  RunningStats dist;
+  for (const Weight d : out) dist.add(d);
+  const double qps = static_cast<double>(stats.pairs) / best_seconds;
+  std::cout << "workload " << serve::workload_name(kind) << ", policy "
+            << serve::policy_name(policy) << ": " << stats.pairs
+            << " queries in " << best_seconds * 1e3 << " ms (best of "
+            << repeat << ") = " << qps / 1e6 << " Mq/s, "
+            << best_seconds * 1e9 / static_cast<double>(stats.pairs)
+            << " ns/query, " << num_threads() << " threads\n";
+  std::cout << "counters: " << stats.tree_lookups << " tree lookups, "
+            << stats.lca_probes << " LCA probes\n";
+  std::cout << "distances: mean " << dist.mean() << ", max " << dist.max()
+            << "\n";
+  return 0;
+}

@@ -52,6 +52,16 @@ FrtTree FrtTree::build(const std::vector<DistanceMap>& le_lists,
   while (beta * std::ldexp(1.0, i_top) < dmax) ++i_top;
   t.levels_ = static_cast<unsigned>(i_top - t.scale_origin_) + 1;
 
+  // Cache dist_T by LCA level: leaves all sit at level 0 and edge weights
+  // are uniform per level, so dist_T(u,v) = Σ_{l<lca} 2·edge_weight(l).
+  // The ascending accumulation order is load-bearing: distance() and the
+  // flat serving index replay these exact doubles.
+  t.dist_by_lca_level_.assign(t.levels_, 0.0);
+  for (unsigned l = 1; l < t.levels_; ++l) {
+    const Weight step = 2.0 * t.edge_weight(l - 1);
+    t.dist_by_lca_level_[l] = t.dist_by_lca_level_[l - 1] + step;
+  }
+
   // Leaf tuples: tuple[ℓ] = rank of min-order vertex within β·2^{i0+ℓ}.
   const unsigned levels = t.levels_;
   t.tuples_.assign(static_cast<std::size_t>(n) * levels, 0);
@@ -147,9 +157,7 @@ Weight FrtTree::distance(Vertex u, Vertex v) const {
       break;
     }
   }
-  Weight d = 0.0;
-  for (unsigned l = 0; l < diverge; ++l) d += 2.0 * edge_weight(l);
-  return d;
+  return dist_by_lca_level_[diverge];
 }
 
 Weight FrtTree::total_edge_weight() const {

@@ -68,8 +68,24 @@ class FrtTree {
   /// Weight of the edge from a level-`level` node to its parent.
   [[nodiscard]] Weight edge_weight(unsigned level) const noexcept;
 
-  /// Tree distance between the leaves of u and v — Θ(log n) per query.
+  /// Tree distance between the leaves of u and v.  The divergence level is
+  /// found by one suffix scan over the two tuples; the weight sum is a
+  /// cached lookup (see distance_at_lca_level), so the per-query cost is
+  /// the scan alone — Θ(log n) worst case, no recomputed root paths.
   [[nodiscard]] Weight distance(Vertex u, Vertex v) const;
+
+  /// dist_T(u,v) for leaves whose lowest common ancestor sits at `level`:
+  /// Σ_{l<level} 2·edge_weight(l), accumulated bottom-up once at build time
+  /// (all leaves live at level 0, so the tree metric depends only on the
+  /// LCA level).  serve::FrtIndex copies this table verbatim, which keeps
+  /// flat-index queries bit-identical to FrtTree::distance.
+  [[nodiscard]] Weight distance_at_lca_level(unsigned level) const {
+    return dist_by_lca_level_[level];
+  }
+  [[nodiscard]] const std::vector<Weight>& distance_by_lca_level()
+      const noexcept {
+    return dist_by_lca_level_;
+  }
 
   /// Sum of all parent-edge weights (used by cost sanity checks).
   [[nodiscard]] Weight total_edge_weight() const;
@@ -85,6 +101,7 @@ class FrtTree {
   std::vector<Node> nodes_;
   std::vector<NodeId> leaf_of_;       // vertex → leaf node
   std::vector<Vertex> tuples_;        // n × levels_, leading *ranks*
+  std::vector<Weight> dist_by_lca_level_;  // level → Σ_{l<level} 2·w_l
   std::vector<Vertex> order_of_rank_; // rank → vertex
   NodeId root_ = invalid_node;
   unsigned levels_ = 1;

@@ -257,4 +257,59 @@ Graph make_dumbbell(Vertex k, Vertex bridge, WeightModel w, Rng rng) {
   return Graph::from_edges(n, std::move(edges));
 }
 
+Graph make_powerlaw(Vertex n, unsigned attach, std::uint64_t seed) {
+  PMTE_CHECK(n >= 2 && attach >= 1, "make_powerlaw: degenerate parameters");
+  Rng rng(seed);
+  // Repeated-endpoint list: drawing a uniform element is a draw
+  // proportional to degree.
+  std::vector<Vertex> endpoints;
+  std::vector<WeightedEdge> edges;
+  edges.push_back(WeightedEdge{0, 1, rng.uniform(1.0, 2.0)});
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (Vertex v = 2; v < n; ++v) {
+    const auto k = std::min<std::size_t>(attach, v);
+    std::vector<Vertex> targets;
+    while (targets.size() < k) {
+      const Vertex t = endpoints[rng.below(endpoints.size())];
+      bool dup = false;
+      for (const Vertex u : targets) dup = dup || u == t;
+      if (!dup) targets.push_back(t);
+    }
+    for (const Vertex t : targets) {
+      edges.push_back(WeightedEdge{v, t, rng.uniform(1.0, 2.0)});
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_family_graph(const std::string& family, Vertex n,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "path") return make_path(n, {1.0, 2.0}, rng);
+  if (family == "cycle") return make_cycle(n, {1.0, 2.0}, rng);
+  if (family == "grid") {
+    Vertex side = 1;
+    while (side * side < n) ++side;
+    return make_grid(side, side, {1.0, 3.0}, rng);
+  }
+  if (family == "star") return make_star(n, {1.0, 5.0}, rng);
+  if (family == "gnm") {
+    return make_gnm(n, 3 * static_cast<std::size_t>(n), {1.0, 4.0}, rng);
+  }
+  if (family == "geometric") {
+    const double radius = 2.2 / std::sqrt(static_cast<double>(n));
+    return make_geometric(n, radius, rng);
+  }
+  if (family == "binary_tree") return make_binary_tree(n, {1.0, 2.0}, rng);
+  if (family == "powerlaw") return make_powerlaw(n, 2, seed);
+  if (family == "cliquechain") {
+    return make_clique_chain(std::max<Vertex>(1, n / 8), 8, {1.0, 2.0}, rng);
+  }
+  PMTE_CHECK(false, "make_family_graph: unknown family " + family);
+  return Graph{};  // unreachable
+}
+
 }  // namespace pmte

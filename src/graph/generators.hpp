@@ -10,6 +10,8 @@
 //   * Erdős–Rényi G(n, m) — low diameter, tests generic behaviour;
 //   * complete metric graphs — the Blelloch et al. input model (§1.1).
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/graph/graph.hpp"
@@ -83,6 +85,24 @@ struct WeightModel {
 /// Dumbbell: two cliques of size k joined by a path of length `bridge`.
 [[nodiscard]] Graph make_dumbbell(Vertex k, Vertex bridge, WeightModel w = {},
                                   Rng rng = Rng(11));
+
+/// Preferential-attachment (Barabási–Albert style) graph: vertex i ≥
+/// attach connects to `attach` distinct earlier vertices drawn
+/// proportionally to degree.  Heavily skewed degrees — the adversarial
+/// family for edge-balanced chunking (a few hubs carry most half-edges).
+[[nodiscard]] Graph make_powerlaw(Vertex n, unsigned attach,
+                                  std::uint64_t seed);
+
+/// A graph by canonical family name, seeded — the one family dispatcher
+/// shared by the test fixtures (tests/support) and the serve_queries CLI,
+/// so a (family, n, seed) triple names the same graph everywhere (the
+/// serving layer persists a fingerprint of it and refuses mismatches on
+/// load).  Families: "path", "cycle", "grid", "star", "gnm", "geometric",
+/// "binary_tree", "powerlaw", "cliquechain".  Throws on unknown names.
+/// (bench_common's make_instance keeps separate bench-specific parameter
+/// choices on purpose; everything else should use this.)
+[[nodiscard]] Graph make_family_graph(const std::string& family, Vertex n,
+                                      std::uint64_t seed);
 
 /// Near-`degree`-regular expander-style graph: the union of degree/2
 /// random Hamiltonian cycles (connected by construction; coinciding cycle

@@ -23,22 +23,27 @@
 namespace pmte {
 
 /// Global work/depth counters.  Adds are cheap (per-thread cache line);
-/// depth adds happen outside parallel regions.
+/// depth adds happen outside parallel regions.  Each slot is written only
+/// by its owning thread, but read() helpers may sum the slots while other
+/// threads are mid-update (e.g. a WorkDepthScope inside one branch of a
+/// parallel tree build), so the fields are relaxed atomics: plain
+/// load/store on every target, no RMW in the hot path, no data-race UB.
+/// Concurrent reads are then snapshots — exact once the region joins.
 class WorkDepth {
  public:
   static constexpr int kMaxThreads = 256;
 
   /// Record `n` units of work on the calling thread.
-  static void add_work(std::uint64_t n) noexcept { slot().work += n; }
+  static void add_work(std::uint64_t n) noexcept { bump(&Slot::work, n); }
 
   /// Record `n` edge relaxations (relax applications) on the calling thread.
   static void add_relaxations(std::uint64_t n) noexcept {
-    slot().relaxations += n;
+    bump(&Slot::relaxations, n);
   }
 
   /// Record `n` half-edges scanned on the calling thread.
   static void add_edges_touched(std::uint64_t n) noexcept {
-    slot().edges += n;
+    bump(&Slot::edges, n);
   }
 
   /// Record `n` units of sequential depth.  Depth is a critical-path
@@ -56,25 +61,35 @@ class WorkDepth {
   }
 
   static void reset() noexcept {
-    for (auto& s : slots_) s = Slot{};
+    for (auto& s : slots_) {
+      s.work.store(0, std::memory_order_relaxed);
+      s.relaxations.store(0, std::memory_order_relaxed);
+      s.edges.store(0, std::memory_order_relaxed);
+    }
     depth_ = 0;
   }
 
   [[nodiscard]] static std::uint64_t work() noexcept {
     std::uint64_t total = 0;
-    for (const auto& s : slots_) total += s.work;
+    for (const auto& s : slots_) {
+      total += s.work.load(std::memory_order_relaxed);
+    }
     return total;
   }
 
   [[nodiscard]] static std::uint64_t relaxations() noexcept {
     std::uint64_t total = 0;
-    for (const auto& s : slots_) total += s.relaxations;
+    for (const auto& s : slots_) {
+      total += s.relaxations.load(std::memory_order_relaxed);
+    }
     return total;
   }
 
   [[nodiscard]] static std::uint64_t edges_touched() noexcept {
     std::uint64_t total = 0;
-    for (const auto& s : slots_) total += s.edges;
+    for (const auto& s : slots_) {
+      total += s.edges.load(std::memory_order_relaxed);
+    }
     return total;
   }
 
@@ -82,17 +97,31 @@ class WorkDepth {
 
  private:
   struct alignas(64) Slot {
-    // zero-initialised via the array's {} / Slot{} value-init
-    std::uint64_t work;
-    std::uint64_t relaxations;
-    std::uint64_t edges;
+    // zero-initialised via the array's {} value-init
+    std::atomic<std::uint64_t> work;
+    std::atomic<std::uint64_t> relaxations;
+    std::atomic<std::uint64_t> edges;
   };
 
-  static Slot& slot() noexcept {
-    return slots_[static_cast<std::size_t>(thread_index()) % kMaxThreads];
+  /// Increment of the calling thread's counter.  Threads 0..kMaxThreads−1
+  /// own their slot exclusively, so a relaxed load + store suffices
+  /// (compiles to the same mov/add/mov as a plain +=).  Any further
+  /// threads share one dedicated overflow slot written only with
+  /// fetch_add — increments are never lost, so the totals stay
+  /// thread-count independent at any oversubscription.
+  static void bump(std::atomic<std::uint64_t> Slot::* member,
+                   std::uint64_t n) noexcept {
+    const auto idx = static_cast<std::size_t>(thread_index());
+    if (idx < kMaxThreads) {
+      auto& c = slots_[idx].*member;
+      c.store(c.load(std::memory_order_relaxed) + n,
+              std::memory_order_relaxed);
+    } else {
+      (slots_[kMaxThreads].*member).fetch_add(n, std::memory_order_relaxed);
+    }
   }
 
-  static inline std::array<Slot, kMaxThreads> slots_ = {};
+  static inline std::array<Slot, kMaxThreads + 1> slots_ = {};
   static inline std::atomic<std::uint64_t> depth_{0};
 };
 

@@ -1,0 +1,187 @@
+#include "src/serve/frt_ensemble.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/parallel/counters.hpp"
+#include "src/parallel/parallel.hpp"
+#include "src/serve/serialize.hpp"
+#include "src/util/assertions.hpp"
+#include "src/util/timer.hpp"
+
+namespace pmte::serve {
+
+AggregatePolicy parse_policy(const std::string& name) {
+  if (name == "min") return AggregatePolicy::min;
+  if (name == "median") return AggregatePolicy::median;
+  PMTE_CHECK(false, "unknown aggregation policy: " + name +
+                        " (expected min|median)");
+  return AggregatePolicy::min;  // unreachable
+}
+
+const char* policy_name(AggregatePolicy policy) noexcept {
+  return policy == AggregatePolicy::min ? "min" : "median";
+}
+
+std::uint64_t FrtEnsemble::fingerprint(const Graph& g) {
+  std::uint64_t hash = fnv1a_fold(kFnv1aInit, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& e : g.neighbors(v)) {
+      hash = fnv1a_fold(hash, e.to);
+      std::uint64_t bits;
+      std::memcpy(&bits, &e.weight, sizeof(bits));
+      hash = fnv1a_fold(hash, bits);
+    }
+  }
+  return hash;
+}
+
+FrtEnsemble FrtEnsemble::build(const Graph& g, std::uint64_t master_seed,
+                               const EnsembleOptions& opts) {
+  PMTE_CHECK(opts.trees >= 1, "FrtEnsemble: needs at least one tree");
+  PMTE_CHECK(g.num_vertices() >= 1, "FrtEnsemble: empty graph");
+  const Timer timer;
+  const WorkDepthScope scope;
+
+  FrtEnsemble e;
+  e.master_seed_ = master_seed;
+  e.graph_fingerprint_ = fingerprint(g);
+  e.indices_.resize(opts.trees);
+
+  // Stream 0 of the master seed covers the randomness shared by all trees
+  // (hub hop set + level sampling); streams 1..k seed the per-tree
+  // β/permutation draws.  See split_seed in src/util/rng.hpp.
+  std::optional<SimulatedGraph> h;
+  if (opts.pipeline == EnsemblePipeline::oracle) {
+    Rng shared(split_seed(master_seed, 0));
+    const auto hopset = build_hub_hopset(g, opts.frt.hopset, shared);
+    h.emplace(build_simulated_graph(
+        g, hopset, resolve_eps_hat(opts.frt.eps_hat, g.num_vertices()),
+        shared));
+  }
+
+  std::vector<std::uint64_t> iterations(opts.trees, 0);
+  auto build_one = [&](std::size_t t) {
+    Rng rng(split_seed(master_seed, 1 + t));
+    FrtSample sample = [&] {
+      switch (opts.pipeline) {
+        case EnsemblePipeline::oracle:
+          return sample_frt_oracle_on(*h, rng, opts.frt);
+        case EnsemblePipeline::direct:
+          return sample_frt_direct(g, rng, opts.frt);
+        case EnsemblePipeline::sequential:
+        default:
+          return sample_frt_sequential(g, rng, opts.frt);
+      }
+    }();
+    iterations[t] = sample.iterations;
+    e.indices_[t] = FrtIndex::build(sample.tree);
+  };
+  if (opts.parallel_build) {
+    // Tree slots are independent (own RNG stream, write only their own
+    // index), so any schedule produces the same ensemble; the per-tree
+    // engine loops detect the enclosing region and run serially.
+    parallel_for(opts.trees, build_one, /*grain=*/1);
+  } else {
+    for (std::size_t t = 0; t < opts.trees; ++t) build_one(t);
+  }
+
+  for (std::size_t t = 0; t < opts.trees; ++t) {
+    e.stats_.iterations += iterations[t];
+    e.stats_.index_nodes += e.indices_[t].num_nodes();
+  }
+  e.stats_.work = scope.work_delta();
+  e.stats_.relaxations = scope.relaxations_delta();
+  e.stats_.edges_touched = scope.edges_touched_delta();
+  e.stats_.seconds = timer.seconds();
+  return e;
+}
+
+Weight FrtEnsemble::aggregate(Vertex u, Vertex v, AggregatePolicy policy,
+                              Weight* scratch) const {
+  const std::size_t k = indices_.size();
+  if (policy == AggregatePolicy::min) {
+    Weight best = indices_[0].distance(u, v);
+    for (std::size_t t = 1; t < k; ++t) {
+      best = std::min(best, indices_[t].distance(u, v));
+    }
+    return best;
+  }
+  for (std::size_t t = 0; t < k; ++t) scratch[t] = indices_[t].distance(u, v);
+  // Upper median: stays a per-tree value (no averaging), and every tree
+  // dominates dist_G, so the served value does too.
+  std::nth_element(scratch, scratch + k / 2, scratch + k);
+  return scratch[k / 2];
+}
+
+Weight FrtEnsemble::query(Vertex u, Vertex v, AggregatePolicy policy) const {
+  PMTE_CHECK(!indices_.empty(), "FrtEnsemble::query: empty ensemble");
+  std::vector<Weight> scratch(
+      policy == AggregatePolicy::median ? indices_.size() : 0);
+  return aggregate(u, v, policy, scratch.data());
+}
+
+FrtEnsemble::BatchStats FrtEnsemble::query_batch(
+    const std::vector<std::pair<Vertex, Vertex>>& pairs,
+    AggregatePolicy policy, std::vector<Weight>& out) const {
+  PMTE_CHECK(!indices_.empty(), "FrtEnsemble::query_batch: empty ensemble");
+  const std::size_t q = pairs.size();
+  const std::size_t k = indices_.size();
+  out.assign(q, 0.0);
+
+  // Median scratch: one k-slot slice per thread, allocated once per batch.
+  const bool median = policy == AggregatePolicy::median;
+  std::vector<Weight> scratch(
+      median ? static_cast<std::size_t>(std::max(num_threads(), 1)) * k : 0);
+  parallel_for_balanced(
+      q, [k](std::size_t) { return k; },
+      [&](std::size_t i) {
+        Weight* s =
+            median ? scratch.data() +
+                         static_cast<std::size_t>(thread_index()) * k
+                   : nullptr;
+        out[i] = aggregate(pairs[i].first, pairs[i].second, policy, s);
+      });
+
+  // Logical costs: every pair consults every tree; each u ≠ v lookup is
+  // exactly kLcaProbesPerQuery sparse-table probes (u == v short-circuits).
+  BatchStats stats;
+  stats.pairs = q;
+  stats.tree_lookups = static_cast<std::uint64_t>(q) * k;
+  std::uint64_t distinct = 0;
+  for (const auto& [u, v] : pairs) distinct += u != v ? 1 : 0;
+  stats.lca_probes = distinct * k * FrtIndex::kLcaProbesPerQuery;
+  return stats;
+}
+
+void FrtEnsemble::save(std::ostream& os) const {
+  BinaryWriter w(os);
+  w.magic(kEnsembleMagic);
+  w.u64(master_seed_);
+  w.u64(graph_fingerprint_);
+  w.u64(indices_.size());
+  for (const auto& idx : indices_) idx.save(os);
+}
+
+FrtEnsemble FrtEnsemble::load(std::istream& is) {
+  BinaryReader r(is);
+  r.expect_magic(kEnsembleMagic);
+  FrtEnsemble e;
+  e.master_seed_ = r.u64();
+  e.graph_fingerprint_ = r.u64();
+  const std::uint64_t trees = r.u64();
+  PMTE_CHECK(trees >= 1 && trees <= (1ULL << 20),
+             "FrtEnsemble::load: implausible tree count");
+  e.indices_.reserve(trees);
+  for (std::uint64_t t = 0; t < trees; ++t) {
+    e.indices_.push_back(FrtIndex::load(is));
+    PMTE_CHECK(e.indices_.back().num_leaves() ==
+                   e.indices_.front().num_leaves(),
+               "FrtEnsemble::load: indices disagree on the vertex set");
+  }
+  return e;
+}
+
+}  // namespace pmte::serve

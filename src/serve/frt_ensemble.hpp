@@ -1,0 +1,142 @@
+#pragma once
+// Ensemble of independently-seeded FRT serving indices.
+//
+// A single FRT tree only guarantees O(log n) *expected* stretch; serving
+// systems (Blelloch–Gu–Sun, PAPERS.md) recover the practical quality by
+// querying k independent trees and aggregating.  FrtEnsemble builds k
+// FrtIndex instances over the same graph:
+//
+//   Randomness  — per-tree RNG streams derive from one master seed via
+//                 split_seed(master, 1 + t) (stream 0 feeds the shared
+//                 hop-set / simulated-graph randomness of the oracle
+//                 pipeline).  Each tree is a fixed function of (graph,
+//                 master, t), so the ensemble is reproducible regardless
+//                 of build order and thread count.
+//   Build       — trees build in parallel (parallel_for over slots; the
+//                 per-tree engine loops detect the enclosing region and
+//                 run serially).  The oracle pipeline shares one simulated
+//                 graph across all trees, amortising the hop set.
+//   Queries     — query(u, v, policy) aggregates the k O(1) index lookups
+//                 with `min` (tightest dominating estimate; every tree
+//                 dominates dist_G, hence so does the min) or `median`
+//                 (robust distance-weighted-stretch estimate; the upper
+//                 median for even k, so it stays dominating too).
+//   Batches     — query_batch answers a pair list via
+//                 parallel_for_balanced and reports deterministic logical
+//                 counters (pairs, per-tree lookups, sparse-table probes)
+//                 for the CI bench gate; outputs are bit-identical across
+//                 thread counts.
+//
+// save()/load() persist the whole ensemble (master seed + every index)
+// in the versioned binary format; round-trips are exact.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/frt/pipelines.hpp"
+#include "src/serve/frt_index.hpp"
+
+namespace pmte::serve {
+
+/// Which sampling pipeline produces the ensemble's trees.
+enum class EnsemblePipeline { oracle, direct, sequential };
+
+/// How per-tree distances collapse into one served value.
+enum class AggregatePolicy { min, median };
+
+struct EnsembleOptions {
+  std::size_t trees = 8;
+  EnsemblePipeline pipeline = EnsemblePipeline::oracle;
+  FrtOptions frt;             ///< weight rule, ε̂, hop-set, engine tunables
+  bool parallel_build = true; ///< results identical either way (split seeds)
+};
+
+/// Deterministic build accounting, summed over all trees (WorkDepth
+/// logical-op deltas — thread-count independent; wall time is not).
+struct EnsembleBuildStats {
+  std::uint64_t work = 0;
+  std::uint64_t relaxations = 0;
+  std::uint64_t edges_touched = 0;
+  std::uint64_t iterations = 0;    ///< top-level MBF iterations, summed
+  std::uint64_t index_nodes = 0;   ///< flat nodes across all indices
+  double seconds = 0.0;
+};
+
+class FrtEnsemble {
+ public:
+  FrtEnsemble() = default;
+
+  /// Build `opts.trees` indices over `g` from one master seed.
+  [[nodiscard]] static FrtEnsemble build(const Graph& g,
+                                         std::uint64_t master_seed,
+                                         const EnsembleOptions& opts = {});
+
+  [[nodiscard]] std::size_t num_trees() const noexcept {
+    return indices_.size();
+  }
+  [[nodiscard]] Vertex num_vertices() const noexcept {
+    return indices_.empty() ? 0 : indices_.front().num_leaves();
+  }
+  [[nodiscard]] std::uint64_t master_seed() const noexcept {
+    return master_seed_;
+  }
+  /// Fingerprint of the graph this ensemble was built over (persisted, so
+  /// loaders can refuse to serve a different graph's distances).
+  [[nodiscard]] std::uint64_t graph_fingerprint() const noexcept {
+    return graph_fingerprint_;
+  }
+
+  /// FNV-1a over (n, every half-edge's target and weight bits) — a cheap
+  /// structural identity for "same graph as at build time" checks.
+  [[nodiscard]] static std::uint64_t fingerprint(const Graph& g);
+  [[nodiscard]] const FrtIndex& index(std::size_t t) const {
+    return indices_[t];
+  }
+  [[nodiscard]] const EnsembleBuildStats& build_stats() const noexcept {
+    return stats_;
+  }
+
+  /// Aggregated point query: k O(1) lookups + the policy fold.
+  [[nodiscard]] Weight query(Vertex u, Vertex v,
+                             AggregatePolicy policy) const;
+
+  /// Deterministic logical counters of one batch (the bench-gate metrics).
+  struct BatchStats {
+    std::uint64_t pairs = 0;
+    std::uint64_t tree_lookups = 0;  ///< pairs × trees
+    std::uint64_t lca_probes = 0;    ///< sparse-table probes (u≠v only)
+  };
+
+  /// Answer `pairs` into `out` (resized to match) under `policy`, in
+  /// parallel via parallel_for_balanced.  Outputs and the returned
+  /// counters are bit-identical across thread counts.
+  BatchStats query_batch(const std::vector<std::pair<Vertex, Vertex>>& pairs,
+                         AggregatePolicy policy,
+                         std::vector<Weight>& out) const;
+
+  void save(std::ostream& os) const;
+  [[nodiscard]] static FrtEnsemble load(std::istream& is);
+
+  friend bool operator==(const FrtEnsemble& a, const FrtEnsemble& b) {
+    return a.master_seed_ == b.master_seed_ &&
+           a.graph_fingerprint_ == b.graph_fingerprint_ &&
+           a.indices_ == b.indices_;
+  }
+
+ private:
+  [[nodiscard]] Weight aggregate(Vertex u, Vertex v, AggregatePolicy policy,
+                                 Weight* scratch) const;
+
+  std::vector<FrtIndex> indices_;
+  std::uint64_t master_seed_ = 0;
+  std::uint64_t graph_fingerprint_ = 0;
+  EnsembleBuildStats stats_{};  // build-time only; not persisted
+};
+
+[[nodiscard]] AggregatePolicy parse_policy(const std::string& name);
+[[nodiscard]] const char* policy_name(AggregatePolicy policy) noexcept;
+
+}  // namespace pmte::serve

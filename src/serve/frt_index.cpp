@@ -1,0 +1,222 @@
+#include "src/serve/frt_index.hpp"
+
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "src/serve/serialize.hpp"
+#include "src/util/assertions.hpp"
+
+namespace pmte::serve {
+
+FrtIndex FrtIndex::build(const FrtTree& tree) {
+  const std::size_t nodes = tree.num_nodes();
+  PMTE_CHECK(nodes >= 1, "FrtIndex: empty tree");
+  PMTE_CHECK(nodes <= 0x7fffffffULL, "FrtIndex: tree too large for u32 ids");
+
+  FrtIndex idx;
+  idx.levels_ = tree.num_levels();
+  idx.beta_ = tree.beta();
+  idx.dist_by_lca_level_ = tree.distance_by_lca_level();
+
+  idx.node_level_.resize(nodes);
+  idx.wdepth_.resize(nodes);
+  for (NodeId id = 0; id < nodes; ++id) {
+    const auto& nd = tree.node(id);
+    idx.node_level_[id] = nd.level;
+    // Nodes are created top-down (parents precede children), so parents'
+    // prefix sums are ready when a child is reached.
+    idx.wdepth_[id] = nd.parent == FrtTree::invalid_node
+                          ? 0.0
+                          : idx.wdepth_[nd.parent] + nd.parent_edge;
+  }
+
+  // Euler tour: visit a node, recurse into each child, revisit after each
+  // return → 2·nodes − 1 positions.  Iterative via an explicit stack of
+  // (node, next-child) frames; tree height is num_levels so the stack is
+  // tiny, but the explicit form also records revisit positions naturally.
+  const std::size_t tour_len = 2 * nodes - 1;
+  idx.euler_node_.reserve(tour_len);
+  idx.euler_level_.reserve(tour_len);
+  idx.leaf_pos_.assign(tree.num_leaves(), 0);
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.reserve(idx.levels_ + 1);
+  stack.emplace_back(tree.root(), 0);
+  auto visit = [&](NodeId id) {
+    const auto& nd = tree.node(id);
+    if (nd.leaf_vertex != no_vertex()) {
+      idx.leaf_pos_[nd.leaf_vertex] =
+          static_cast<std::uint32_t>(idx.euler_node_.size());
+    }
+    idx.euler_node_.push_back(id);
+    idx.euler_level_.push_back(nd.level);
+  };
+  visit(tree.root());
+  while (!stack.empty()) {
+    auto& [id, next_child] = stack.back();
+    const auto& children = tree.node(id).children;
+    if (next_child == children.size()) {
+      stack.pop_back();
+      if (!stack.empty()) visit(stack.back().first);
+      continue;
+    }
+    const NodeId child = children[next_child++];
+    stack.emplace_back(child, 0);
+    visit(child);
+  }
+  PMTE_CHECK(idx.euler_node_.size() == tour_len,
+             "FrtIndex: malformed Euler tour");
+
+  idx.build_sparse_table();
+  return idx;
+}
+
+void FrtIndex::build_sparse_table() {
+  const std::size_t len = euler_level_.size();
+  // Rows 0..⌊log₂ len⌋: a range of length L is answered from row
+  // ⌊log₂ L⌋ ≤ ⌊log₂ len⌋, so bit_width(len) rows exactly suffice.
+  sparse_rows_ = static_cast<unsigned>(std::bit_width(len));
+  sparse_.assign(static_cast<std::size_t>(sparse_rows_) * len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    sparse_[i] = static_cast<std::uint32_t>(i);
+  }
+  for (unsigned j = 1; j < sparse_rows_; ++j) {
+    const std::uint32_t* prev = sparse_.data() + (j - 1) * len;
+    std::uint32_t* row = sparse_.data() + static_cast<std::size_t>(j) * len;
+    const std::size_t half = std::size_t{1} << (j - 1);
+    for (std::size_t i = 0; i + 2 * half <= len; ++i) {
+      const std::uint32_t a = prev[i];
+      const std::uint32_t b = prev[i + half];
+      row[i] = euler_level_[a] >= euler_level_[b] ? a : b;
+    }
+  }
+}
+
+std::uint32_t FrtIndex::lca_pos(std::uint32_t a, std::uint32_t b) const {
+  if (a > b) std::swap(a, b);
+  const std::uint32_t len = b - a + 1;
+  const unsigned k = static_cast<unsigned>(std::bit_width(len)) - 1U;
+  const std::uint32_t* row =
+      sparse_.data() + static_cast<std::size_t>(k) * euler_level_.size();
+  const std::uint32_t p1 = row[a];
+  const std::uint32_t p2 = row[b + 1 - (std::uint32_t{1} << k)];
+  // Every node strictly between two leaf visits is a descendant of their
+  // LCA except the LCA itself, so the max level is unique — either probe
+  // winning returns the same node.
+  return euler_level_[p1] >= euler_level_[p2] ? p1 : p2;
+}
+
+Weight FrtIndex::distance(Vertex u, Vertex v) const {
+  PMTE_CHECK(u < leaf_pos_.size() && v < leaf_pos_.size(),
+             "FrtIndex::distance: vertex out of range");
+  if (u == v) return 0.0;
+  const std::uint32_t pos = lca_pos(leaf_pos_[u], leaf_pos_[v]);
+  return dist_by_lca_level_[euler_level_[pos]];
+}
+
+FrtIndex::NodeId FrtIndex::lca(Vertex u, Vertex v) const {
+  PMTE_CHECK(u < leaf_pos_.size() && v < leaf_pos_.size(),
+             "FrtIndex::lca: vertex out of range");
+  return euler_node_[lca_pos(leaf_pos_[u], leaf_pos_[v])];
+}
+
+unsigned FrtIndex::lca_level(Vertex u, Vertex v) const {
+  PMTE_CHECK(u < leaf_pos_.size() && v < leaf_pos_.size(),
+             "FrtIndex::lca_level: vertex out of range");
+  return euler_level_[lca_pos(leaf_pos_[u], leaf_pos_[v])];
+}
+
+void FrtIndex::validate() const {
+  const std::size_t nodes = node_level_.size();
+  PMTE_CHECK(nodes >= 1, "FrtIndex: empty");
+  PMTE_CHECK(euler_node_.size() == 2 * nodes - 1,
+             "FrtIndex: Euler tour length mismatch");
+  PMTE_CHECK(euler_level_.size() == euler_node_.size(),
+             "FrtIndex: Euler arrays disagree");
+  PMTE_CHECK(wdepth_.size() == nodes, "FrtIndex: wdepth size mismatch");
+  PMTE_CHECK(dist_by_lca_level_.size() == levels_,
+             "FrtIndex: level table size mismatch");
+  for (std::size_t i = 0; i < euler_node_.size(); ++i) {
+    PMTE_CHECK(euler_node_[i] < nodes, "FrtIndex: tour node out of range");
+    PMTE_CHECK(euler_level_[i] == node_level_[euler_node_[i]],
+               "FrtIndex: tour level mismatch");
+    if (i > 0) {
+      const unsigned a = euler_level_[i - 1];
+      const unsigned b = euler_level_[i];
+      PMTE_CHECK(a + 1 == b || b + 1 == a,
+                 "FrtIndex: tour levels must change by exactly 1");
+    }
+  }
+  PMTE_CHECK(!leaf_pos_.empty(), "FrtIndex: no leaves");
+  std::vector<bool> position_used(euler_node_.size(), false);
+  for (std::size_t v = 0; v < leaf_pos_.size(); ++v) {
+    PMTE_CHECK(leaf_pos_[v] < euler_node_.size(),
+               "FrtIndex: leaf position out of range");
+    PMTE_CHECK(euler_level_[leaf_pos_[v]] == 0,
+               "FrtIndex: leaf position not at level 0");
+    // Injectivity: aliased leaf positions would silently serve distance 0
+    // for distinct vertices — reject the file instead.
+    PMTE_CHECK(!position_used[leaf_pos_[v]],
+               "FrtIndex: two vertices share a leaf position");
+    position_used[leaf_pos_[v]] = true;
+  }
+  std::size_t level0_nodes = 0;
+  for (std::size_t id = 0; id < nodes; ++id) {
+    level0_nodes += node_level_[id] == 0 ? 1 : 0;
+  }
+  PMTE_CHECK(level0_nodes == leaf_pos_.size(),
+             "FrtIndex: leaf count does not match level-0 node count");
+  for (std::size_t id = 0; id < nodes; ++id) {
+    PMTE_CHECK(node_level_[id] < levels_, "FrtIndex: node level out of range");
+    PMTE_CHECK(wdepth_[id] >= 0.0 && is_finite(wdepth_[id]),
+               "FrtIndex: bad weighted depth");
+  }
+  for (unsigned l = 1; l < levels_; ++l) {
+    PMTE_CHECK(dist_by_lca_level_[l] > dist_by_lca_level_[l - 1],
+               "FrtIndex: LCA distance table not increasing");
+  }
+  // Cross-check the two distance representations: for every node,
+  // 2·(wdepth[leaf] − wdepth[node]) must equal the LCA-level table entry
+  // (up to summation-order rounding — the table accumulates bottom-up,
+  // wdepth top-down).
+  const Weight wleaf = wdepth_[euler_node_[leaf_pos_[0]]];
+  for (std::size_t id = 0; id < nodes; ++id) {
+    const Weight via_wdepth = 2.0 * (wleaf - wdepth_[id]);
+    const Weight via_table = dist_by_lca_level_[node_level_[id]];
+    PMTE_CHECK(std::abs(via_wdepth - via_table) <=
+                   1e-9 * (1.0 + std::abs(via_table)),
+               "FrtIndex: wdepth inconsistent with LCA distance table");
+  }
+}
+
+void FrtIndex::save(std::ostream& os) const {
+  BinaryWriter w(os);
+  w.magic(kIndexMagic);
+  w.u32(levels_);
+  w.f64(beta_);
+  w.vec_u32(node_level_);
+  w.vec_f64(wdepth_);
+  w.vec_u32(euler_node_);
+  w.vec_u32(euler_level_);
+  w.vec_u32(leaf_pos_);
+  w.vec_f64(dist_by_lca_level_);
+}
+
+FrtIndex FrtIndex::load(std::istream& is) {
+  BinaryReader r(is);
+  r.expect_magic(kIndexMagic);
+  FrtIndex idx;
+  idx.levels_ = r.u32();
+  idx.beta_ = r.f64();
+  idx.node_level_ = r.vec_u32();
+  idx.wdepth_ = r.vec_f64();
+  idx.euler_node_ = r.vec_u32();
+  idx.euler_level_ = r.vec_u32();
+  idx.leaf_pos_ = r.vec_u32();
+  idx.dist_by_lca_level_ = r.vec_f64();
+  idx.validate();
+  idx.build_sparse_table();
+  return idx;
+}
+
+}  // namespace pmte::serve

@@ -1,0 +1,135 @@
+#pragma once
+// Flat, read-only serving index over one FRT tree.
+//
+// FrtTree is a build-time structure: nodes own std::vector children, and
+// distance() walks tuple suffixes — fine for construction-side checks, too
+// pointer-heavy for query traffic.  FrtIndex compacts a finished tree into
+// a handful of flat arrays sized once at build time:
+//
+//   euler_node_ / euler_level_   Euler tour of the tree (2·nodes − 1
+//                                positions); the tour visits a node once
+//                                per child boundary, so the LCA of two
+//                                leaves is the maximum-level node between
+//                                their tour positions.
+//   sparse_                      sparse-table RMQ (range *max* of
+//                                euler_level_, ⌈log₂⌉ rows): any range
+//                                query is 2 table probes → O(1) LCA.
+//   wdepth_                      per-node prefix sum of root-path edge
+//                                weights, so in general
+//                                dist_T(u,v) = wdepth[u] + wdepth[v]
+//                                              − 2·wdepth[lca].
+//   dist_by_lca_level_           the same quantity specialised to FRT
+//                                trees: all leaves sit at level 0 and edge
+//                                weights are uniform per level, so
+//                                2·(wdepth[leaf] − wdepth[lca]) depends
+//                                only on the LCA level.  The table is
+//                                copied verbatim from
+//                                FrtTree::distance_by_lca_level(), which
+//                                makes distance() bit-identical to
+//                                FrtTree::distance — no re-derived
+//                                floating-point sums.
+//
+// distance() is O(1): two array reads to map leaves to tour positions, two
+// sparse-table probes, one compare, one table lookup.  No allocation, no
+// pointer chasing; the index is immutable after build, so concurrent
+// queries from any number of threads are safe.
+//
+// save()/load() persist every non-derived array through the versioned
+// binary format of serialize.hpp; the sparse table is rebuilt
+// deterministically on load, so save→load→save is byte-identical.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/frt/frt_tree.hpp"
+#include "src/util/types.hpp"
+
+namespace pmte::serve {
+
+class FrtIndex {
+ public:
+  using NodeId = FrtTree::NodeId;
+
+  FrtIndex() = default;
+
+  /// Flatten a built FRT tree.  O(nodes·log nodes) time and space (the
+  /// sparse table dominates).
+  [[nodiscard]] static FrtIndex build(const FrtTree& tree);
+
+  [[nodiscard]] Vertex num_leaves() const noexcept {
+    return static_cast<Vertex>(leaf_pos_.size());
+  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return node_level_.size();
+  }
+  [[nodiscard]] unsigned num_levels() const noexcept { return levels_; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] bool empty() const noexcept { return node_level_.empty(); }
+
+  /// Tree distance between the leaves of u and v — O(1), two sparse-table
+  /// probes (kLcaProbesPerQuery), no per-query allocation.  Bit-identical
+  /// to FrtTree::distance of the source tree.
+  [[nodiscard]] Weight distance(Vertex u, Vertex v) const;
+
+  /// Lowest common ancestor of the leaves of u and v (node id of the
+  /// source tree's numbering) and its level.
+  [[nodiscard]] NodeId lca(Vertex u, Vertex v) const;
+  [[nodiscard]] unsigned lca_level(Vertex u, Vertex v) const;
+
+  /// Root-path weight prefix sum of a node (0 at the root).
+  [[nodiscard]] Weight weighted_depth(NodeId id) const {
+    return wdepth_[id];
+  }
+  [[nodiscard]] unsigned level(NodeId id) const { return node_level_[id]; }
+
+  /// dist_T for an LCA at `level` (copied from the source tree).
+  [[nodiscard]] Weight distance_at_lca_level(unsigned lvl) const {
+    return dist_by_lca_level_[lvl];
+  }
+
+  /// Sparse-table probes per u ≠ v distance query (u == v costs none).
+  /// bench_serve's deterministic counters are multiples of this.
+  static constexpr std::uint64_t kLcaProbesPerQuery = 2;
+
+  /// Structural validation of the flat arrays (tour shape, leaf positions,
+  /// wdepth consistency with dist_by_lca_level_).  Throws on violation.
+  void validate() const;
+
+  void save(std::ostream& os) const;
+  [[nodiscard]] static FrtIndex load(std::istream& is);
+
+  /// Equality over the persisted state (derived tables excluded — they are
+  /// a function of it).  Backs the round-trip tests.
+  friend bool operator==(const FrtIndex& a, const FrtIndex& b) {
+    return a.levels_ == b.levels_ && a.beta_ == b.beta_ &&
+           a.node_level_ == b.node_level_ && a.wdepth_ == b.wdepth_ &&
+           a.euler_node_ == b.euler_node_ &&
+           a.euler_level_ == b.euler_level_ && a.leaf_pos_ == b.leaf_pos_ &&
+           a.dist_by_lca_level_ == b.dist_by_lca_level_;
+  }
+
+ private:
+  /// Tour position of the maximum-level node in the inclusive position
+  /// range spanned by a and b (the LCA when a, b are leaf positions).
+  [[nodiscard]] std::uint32_t lca_pos(std::uint32_t a, std::uint32_t b) const;
+
+  /// (Re)derive the sparse table from the Euler arrays.
+  void build_sparse_table();
+
+  unsigned levels_ = 1;
+  double beta_ = 1.0;
+  std::vector<std::uint32_t> node_level_;        // node → level
+  std::vector<Weight> wdepth_;                   // node → root-path weight
+  std::vector<std::uint32_t> euler_node_;        // tour position → node
+  std::vector<std::uint32_t> euler_level_;       // tour position → level
+  std::vector<std::uint32_t> leaf_pos_;          // vertex → tour position
+  std::vector<Weight> dist_by_lca_level_;        // LCA level → dist_T
+  // Derived, rebuilt on load: row j holds, per position i, the tour
+  // position of the max level in [i, i + 2^j); row-major, stride = tour
+  // length.
+  std::vector<std::uint32_t> sparse_;
+  unsigned sparse_rows_ = 0;
+};
+
+}  // namespace pmte::serve

@@ -1,0 +1,107 @@
+#include "src/serve/serialize.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte::serve {
+
+void BinaryWriter::bytes(const void* data, std::size_t n) {
+  os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  PMTE_CHECK(os_.good(), "serve serialisation: write failed");
+}
+
+void BinaryWriter::magic(const char (&m)[8]) {
+  bytes(m, sizeof(m));
+  u32(kEndianProbe);
+  u32(kFormatVersion);
+}
+
+void BinaryWriter::u32(std::uint32_t v) { bytes(&v, sizeof(v)); }
+void BinaryWriter::u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+void BinaryWriter::f64(double v) { bytes(&v, sizeof(v)); }
+
+void BinaryWriter::vec_u32(const std::vector<std::uint32_t>& v) {
+  u64(v.size());
+  bytes(v.data(), v.size() * sizeof(std::uint32_t));
+}
+
+void BinaryWriter::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  bytes(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryReader::bytes(void* data, std::size_t n) {
+  is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  PMTE_CHECK(static_cast<std::size_t>(is_.gcount()) == n,
+             "serve serialisation: truncated input");
+}
+
+void BinaryReader::expect_magic(const char (&m)[8]) {
+  char got[8];
+  bytes(got, sizeof(got));
+  PMTE_CHECK(std::memcmp(got, m, sizeof(got)) == 0,
+             "serve serialisation: bad magic (not a serving-layer file, or "
+             "the wrong artefact kind)");
+  PMTE_CHECK(u32() == kEndianProbe,
+             "serve serialisation: endianness mismatch");
+  const std::uint32_t version = u32();
+  PMTE_CHECK(version == kFormatVersion,
+             "serve serialisation: unsupported format version");
+}
+
+std::uint32_t BinaryReader::u32() {
+  std::uint32_t v;
+  bytes(&v, sizeof(v));
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  std::uint64_t v;
+  bytes(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::f64() {
+  double v;
+  bytes(&v, sizeof(v));
+  return v;
+}
+
+void BinaryReader::check_capacity(std::uint64_t n, std::size_t elem_size) {
+  const auto cur = is_.tellg();
+  if (cur != std::istream::pos_type(-1)) {
+    is_.seekg(0, std::ios::end);
+    const auto end = is_.tellg();
+    is_.seekg(cur);
+    if (end != std::istream::pos_type(-1) && end >= cur) {
+      const auto remaining = static_cast<std::uint64_t>(end - cur);
+      PMTE_CHECK(n <= remaining / elem_size,
+                 "serve serialisation: length prefix exceeds remaining input");
+      return;
+    }
+  }
+  // Non-seekable stream: fall back to a hard cap (2^28 elements ≈ 2 GiB
+  // of doubles — far above any real index, far below an OOM-killer trip).
+  PMTE_CHECK(n <= (1ULL << 28), "serve serialisation: absurd array length");
+}
+
+std::vector<std::uint32_t> BinaryReader::vec_u32() {
+  const std::uint64_t n = u64();
+  check_capacity(n, sizeof(std::uint32_t));
+  std::vector<std::uint32_t> v(n);
+  bytes(v.data(), v.size() * sizeof(std::uint32_t));
+  return v;
+}
+
+std::vector<double> BinaryReader::vec_f64() {
+  const std::uint64_t n = u64();
+  check_capacity(n, sizeof(double));
+  std::vector<double> v(n);
+  bytes(v.data(), v.size() * sizeof(double));
+  return v;
+}
+
+}  // namespace pmte::serve

@@ -1,0 +1,69 @@
+#pragma once
+// Versioned binary (de)serialisation for the serving layer.
+//
+// The format is deliberately dumb: an 8-byte magic string, a u32 format
+// version, then length-prefixed flat arrays written as raw bytes.  Doubles
+// round-trip bit-exactly (the differential suites pin save→load→query
+// identity), and fixed-width integer types keep the layout unambiguous.
+// Byte order is the native one; a u32 probe word after the magic rejects
+// files from a machine of the opposite endianness instead of silently
+// mis-reading them.  Bumping kFormatVersion invalidates old files — the
+// reader refuses anything it does not understand rather than guessing.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace pmte::serve {
+
+/// Format version shared by all serving-layer artefacts (index, ensemble).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Endianness probe written after each magic; reads back differently when
+/// the producing machine's byte order does not match.
+inline constexpr std::uint32_t kEndianProbe = 0x01020304U;
+
+inline constexpr char kIndexMagic[8] = {'P', 'M', 'T', 'E', 'I', 'D', 'X', '1'};
+inline constexpr char kEnsembleMagic[8] = {'P', 'M', 'T', 'E', 'E', 'N', 'S', '1'};
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  void magic(const char (&m)[8]);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void vec_u32(const std::vector<std::uint32_t>& v);
+  void vec_f64(const std::vector<double>& v);
+
+ private:
+  void bytes(const void* data, std::size_t n);
+  std::ostream& os_;
+};
+
+/// Reader with hard validation: every primitive read PMTE_CHECKs that the
+/// stream still has bytes; magic/probe/version mismatches throw.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(is) {}
+
+  void expect_magic(const char (&m)[8]);
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::vector<std::uint32_t> vec_u32();
+  [[nodiscard]] std::vector<double> vec_f64();
+
+ private:
+  void bytes(void* data, std::size_t n);
+  /// Reject a length prefix that cannot fit in the remaining stream
+  /// *before* allocating for it (a corrupt length must fail like a
+  /// truncation, not as a multi-gigabyte bad_alloc).
+  void check_capacity(std::uint64_t n, std::size_t elem_size);
+  std::istream& is_;
+};
+
+}  // namespace pmte::serve

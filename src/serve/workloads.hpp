@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic query-pair workload generators for the serving layer.
+//
+// Three traffic shapes cover the regimes a distance service sees:
+//
+//   uniform    — both endpoints uniform over V; the textbook benchmark and
+//                the worst case for any locality-exploiting cache.
+//   bfs_local  — pairs inside small hop neighbourhoods (pick a centre,
+//                collect a bounded-hop BFS ball, draw both endpoints from
+//                it): models "nearby" traffic such as map or social
+//                queries, and exercises the low tree levels where FRT
+//                stretch is worst relative to dist_G.
+//   zipf       — endpoints drawn from a Zipf(s) popularity ranking over a
+//                random vertex permutation: models skewed entity
+//                popularity; a handful of hot vertices dominate.
+//
+// All generators draw only from the caller's Rng, so a (graph, kind, seed)
+// triple fixes the workload exactly — the bench gate and the thread-count
+// determinism tests replay identical pair lists.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace pmte::serve {
+
+enum class WorkloadKind { uniform, bfs_local, zipf };
+
+struct WorkloadOptions {
+  std::size_t pairs = 1000;
+  unsigned bfs_hops = 3;        ///< ball radius of bfs_local, in hops
+  std::size_t bfs_ball_cap = 256;  ///< stop growing a ball beyond this
+  double zipf_s = 1.1;          ///< Zipf exponent (popularity skew)
+};
+
+[[nodiscard]] std::vector<std::pair<Vertex, Vertex>> make_workload(
+    const Graph& g, WorkloadKind kind, const WorkloadOptions& opts, Rng& rng);
+
+[[nodiscard]] WorkloadKind parse_workload(const std::string& name);
+[[nodiscard]] const char* workload_name(WorkloadKind kind) noexcept;
+
+}  // namespace pmte::serve

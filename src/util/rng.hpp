@@ -24,6 +24,29 @@ namespace pmte {
   return z ^ (z >> 31);
 }
 
+/// 64-bit FNV-1a, word at a time: start from kFnv1aInit, fold each word.
+/// Used for graph fingerprints and result checksums (serving layer).
+inline constexpr std::uint64_t kFnv1aInit = 0xcbf29ce484222325ULL;
+[[nodiscard]] constexpr std::uint64_t fnv1a_fold(std::uint64_t hash,
+                                                 std::uint64_t word) noexcept {
+  return (hash ^ word) * 0x100000001b3ULL;
+}
+
+/// Seed of the `stream`-th independent child RNG of a master seed.
+///
+/// The splitting scheme: two splitmix64 steps over the state
+/// master ⊕ (stream+1)·φ64 (φ64 = 0x9e3779b97f4a7c15, the golden-ratio
+/// increment; +1 keeps stream 0 distinct from the master itself).  Each
+/// stream is a fixed function of (master, stream) alone, so consumers that
+/// assign stream t to task t (e.g. one FRT tree per ensemble slot) get
+/// results independent of construction order and thread count.
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t master,
+                                                 std::uint64_t stream) noexcept {
+  std::uint64_t state = master ^ ((stream + 1) * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
 /// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

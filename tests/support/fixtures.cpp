@@ -14,56 +14,7 @@ std::vector<std::uint64_t> test_seeds(std::size_t count, std::uint64_t base) {
 
 Graph support_graph(const std::string& family, Vertex n,
                     std::uint64_t seed) {
-  Rng rng(seed);
-  if (family == "path") return make_path(n, {1.0, 2.0}, rng);
-  if (family == "cycle") return make_cycle(n, {1.0, 2.0}, rng);
-  if (family == "grid") {
-    Vertex side = 1;
-    while (side * side < n) ++side;
-    return make_grid(side, side, {1.0, 3.0}, rng);
-  }
-  if (family == "star") return make_star(n, {1.0, 5.0}, rng);
-  if (family == "gnm") {
-    return make_gnm(n, 3 * static_cast<std::size_t>(n), {1.0, 4.0}, rng);
-  }
-  if (family == "geometric") {
-    const double radius = 2.2 / std::sqrt(static_cast<double>(n));
-    return make_geometric(n, radius, rng);
-  }
-  if (family == "binary_tree") return make_binary_tree(n, {1.0, 2.0}, rng);
-  if (family == "powerlaw") return make_powerlaw(n, 2, seed);
-  if (family == "cliquechain") {
-    return make_clique_chain(std::max<Vertex>(1, n / 8), 8, {1.0, 2.0}, rng);
-  }
-  throw std::invalid_argument("support_graph: unknown family " + family);
-}
-
-Graph make_powerlaw(Vertex n, unsigned attach, std::uint64_t seed) {
-  PMTE_CHECK(n >= 2 && attach >= 1, "make_powerlaw: degenerate parameters");
-  Rng rng(seed);
-  // Repeated-endpoint list: drawing a uniform element is a draw
-  // proportional to degree.
-  std::vector<Vertex> endpoints;
-  std::vector<WeightedEdge> edges;
-  edges.push_back(WeightedEdge{0, 1, rng.uniform(1.0, 2.0)});
-  endpoints.push_back(0);
-  endpoints.push_back(1);
-  for (Vertex v = 2; v < n; ++v) {
-    const auto k = std::min<std::size_t>(attach, v);
-    std::vector<Vertex> targets;
-    while (targets.size() < k) {
-      const Vertex t = endpoints[rng.below(endpoints.size())];
-      bool dup = false;
-      for (const Vertex u : targets) dup = dup || u == t;
-      if (!dup) targets.push_back(t);
-    }
-    for (const Vertex t : targets) {
-      edges.push_back(WeightedEdge{v, t, rng.uniform(1.0, 2.0)});
-      endpoints.push_back(v);
-      endpoints.push_back(t);
-    }
-  }
-  return Graph::from_edges(n, std::move(edges));
+  return make_family_graph(family, n, seed);
 }
 
 std::vector<SmallGraphCase> small_graph_corpus(std::size_t count,
@@ -78,6 +29,25 @@ std::vector<SmallGraphCase> small_graph_corpus(std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     const char* family = kFamilies[i % kNumFamilies];
     const auto n = static_cast<Vertex>(8 + (seeds[i] % 57));  // 8..64
+    std::uint64_t child = seeds[i];
+    corpus.push_back(SmallGraphCase{
+        std::string(family) + "#" + std::to_string(i),
+        support_graph(family, n, seeds[i]), splitmix64(child)});
+  }
+  return corpus;
+}
+
+std::vector<SmallGraphCase> serve_graph_corpus(std::size_t count,
+                                               std::uint64_t base_seed) {
+  static const char* kFamilies[] = {"gnm",      "grid",        "powerlaw",
+                                    "geometric", "cliquechain", "cycle"};
+  constexpr std::size_t kNumFamilies = std::size(kFamilies);
+  const auto seeds = test_seeds(count, base_seed ^ 0x5e7fe5e7fe5e7fe5ULL);
+  std::vector<SmallGraphCase> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const char* family = kFamilies[i % kNumFamilies];
+    const auto n = static_cast<Vertex>(64 + (seeds[i] % 129));  // 64..192
     std::uint64_t child = seeds[i];
     corpus.push_back(SmallGraphCase{
         std::string(family) + "#" + std::to_string(i),

@@ -23,16 +23,11 @@ namespace pmte::test {
 [[nodiscard]] std::vector<std::uint64_t> test_seeds(std::size_t count,
                                                     std::uint64_t base);
 
-/// A graph by family name, seeded.  Families: "path", "cycle", "grid",
-/// "star", "gnm", "geometric", "binary_tree", "powerlaw", "cliquechain".
+/// A graph by family name, seeded — thin alias of the library's shared
+/// dispatcher (src/graph/generators.hpp: make_family_graph), kept so the
+/// suites read uniformly.  Families: "path", "cycle", "grid", "star",
+/// "gnm", "geometric", "binary_tree", "powerlaw", "cliquechain".
 [[nodiscard]] Graph support_graph(const std::string& family, Vertex n,
-                                  std::uint64_t seed);
-
-/// Preferential-attachment (Barabási–Albert style) graph: vertex i ≥
-/// attach connects to `attach` distinct earlier vertices drawn
-/// proportionally to degree.  Heavily skewed degrees — the adversarial
-/// family for edge-balanced chunking (a few hubs carry most half-edges).
-[[nodiscard]] Graph make_powerlaw(Vertex n, unsigned attach,
                                   std::uint64_t seed);
 
 /// One corpus entry for randomized property tests.
@@ -45,6 +40,13 @@ struct SmallGraphCase {
 /// A deterministic corpus of `count` small connected graphs cycling
 /// through the families above with varying sizes and weights.
 [[nodiscard]] std::vector<SmallGraphCase> small_graph_corpus(
+    std::size_t count, std::uint64_t base_seed);
+
+/// Medium-size corpus for the serving layer (index/ensemble suites and
+/// their round-trip tests): same families, n ∈ [64, 192] — big enough for
+/// multi-level trees and meaningful batches, small enough for brute-force
+/// cross-checks.
+[[nodiscard]] std::vector<SmallGraphCase> serve_graph_corpus(
     std::size_t count, std::uint64_t base_seed);
 
 /// Build the simulated graph H for `g` the way the pipelines do: hub hop

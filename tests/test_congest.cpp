@@ -1,5 +1,6 @@
 // Tests for the Congest-model simulation (Section 8): round accounting of
-// the Khan et al. algorithm and the skeleton-based algorithm.
+// the Khan et al. algorithm and the skeleton-based algorithm.  Graphs and
+// the Dijkstra reference come from the shared tests/support library.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -7,14 +8,15 @@
 #include "src/congest/congest.hpp"
 #include "src/frt/frt_tree.hpp"
 #include "src/graph/generators.hpp"
-#include "src/graph/shortest_paths.hpp"
+#include "tests/support/fixtures.hpp"
+#include "tests/support/reference.hpp"
 
 namespace pmte {
 namespace {
 
 TEST(CongestKhan, ListsMatchDirectIteration) {
+  const auto g = test::support_graph("gnm", 40, 1);
   Rng rng(1);
-  const auto g = make_gnm(40, 90, {1.0, 4.0}, rng);
   const auto order = VertexOrder::random(40, rng);
   const auto run = congest_frt_khan(g, order);
   const auto direct = le_lists_iteration(g, order);
@@ -22,11 +24,12 @@ TEST(CongestKhan, ListsMatchDirectIteration) {
   for (Vertex v = 0; v < 40; ++v) {
     EXPECT_EQ(run.le.lists[v], direct.lists[v]) << "vertex " << v;
   }
+  test::expect_valid_le_lists(run.le.lists, order);
 }
 
 TEST(CongestKhan, RoundsScaleWithSpdTimesListSize) {
   // Each iteration costs max list length rounds; Θ(SPD) iterations.
-  const auto g = make_path(100);
+  const auto g = test::support_graph("path", 100, 2);
   Rng rng(2);
   const auto order = VertexOrder::random(100, rng);
   const auto run = congest_frt_khan(g, order);
@@ -38,8 +41,8 @@ TEST(CongestKhan, RoundsScaleWithSpdTimesListSize) {
 }
 
 TEST(CongestSkeleton, ProducesValidListsAndEmbedding) {
+  const auto g = test::support_graph("cliquechain", 72, 3);
   Rng rng(3);
-  const auto g = make_clique_chain(12, 6, {1.0, 2.0}, rng);
   SkeletonOptions opts;
   opts.spanner_k = 2;
   const auto sk = congest_frt_skeleton(g, opts, rng);
@@ -51,8 +54,8 @@ TEST(CongestSkeleton, ProducesValidListsAndEmbedding) {
   EXPECT_GT(sk.run.skeleton_size, 0U);
   EXPECT_DOUBLE_EQ(sk.run.embedding_stretch, 3.0);  // 2k−1
   // The virtual graph dominates G and stays within (2k−1)·(1+o(1)).
-  const auto dg = dijkstra(g, 0).dist;
-  const auto dh = dijkstra(sk.virtual_graph, 0).dist;
+  const auto dg = test::dijkstra_reference(g, 0);
+  const auto dh = test::dijkstra_reference(sk.virtual_graph, 0);
   for (Vertex v = 1; v < g.num_vertices(); ++v) {
     EXPECT_GE(dh[v], dg[v] - 1e-9);
     EXPECT_LE(dh[v], 3.0 * dg[v] + 1e-9);
@@ -62,8 +65,8 @@ TEST(CongestSkeleton, ProducesValidListsAndEmbedding) {
 TEST(CongestSkeleton, ListsAreListsOfVirtualGraph) {
   // With ℓ = n the final phase runs to the fixpoint, so the produced lists
   // must match sequential LE lists of the explicit virtual graph.
+  const auto g = test::support_graph("gnm", 30, 4);
   Rng rng(4);
-  const auto g = make_gnm(30, 70, {1.0, 3.0}, rng);
   SkeletonOptions opts;
   opts.ell = 30;  // full propagation
   opts.spanner_k = 2;
@@ -81,7 +84,9 @@ TEST(CongestSkeleton, BeatsKhanOnHighSpdGraphs) {
   // The motivating regime (Section 8): SPD(G) ≈ n but D(G) tiny.  A long
   // unit path plus a prohibitively heavy star centre keeps every shortest
   // path on the path (SPD = n−1) while D(G) = 2.  Khan pays
-  // Θ(SPD·|list|) rounds; the skeleton algorithm Õ(√n + D).
+  // Θ(SPD·|list|) rounds; the skeleton algorithm Õ(√n + D).  (The graph
+  // stays hand-built — it is deliberately adversarial, not a fixture
+  // family.)
   Rng rng(5);
   const Vertex n = 400;
   auto edges = make_path(n).edge_list();
@@ -98,14 +103,33 @@ TEST(CongestSkeleton, BeatsKhanOnHighSpdGraphs) {
 }
 
 TEST(CongestSkeleton, TreeFromListsIsUsable) {
+  const auto g = test::support_graph("gnm", 36, 6);
   Rng rng(6);
-  const auto g = make_gnm(36, 80, {1.0, 4.0}, rng);
   const auto sk = congest_frt_skeleton(g, {}, rng);
   const auto tree =
       FrtTree::build(sk.run.le.lists, sk.order, 1.3,
                      sk.virtual_graph.min_edge_weight());
   tree.validate();
   EXPECT_EQ(tree.num_leaves(), g.num_vertices());
+}
+
+TEST(CongestKhan, MatchesBruteForceOverCorpusSlice) {
+  // Cross-check against the shared brute-force LE-list reference on a
+  // slice of the common corpus (the direct-iteration equivalence above
+  // covers one graph; this covers the families).
+  const auto corpus = test::small_graph_corpus(12, 8101);
+  for (std::size_t i = 0; i < corpus.size(); i += 3) {
+    const auto& c = corpus[i];
+    Rng rng(c.seed);
+    const auto order = VertexOrder::random(c.graph.num_vertices(), rng);
+    const auto run = congest_frt_khan(c.graph, order);
+    ASSERT_TRUE(run.le.converged) << c.name;
+    const auto ref = test::brute_force_le_lists(c.graph, order);
+    for (Vertex v = 0; v < c.graph.num_vertices(); ++v) {
+      EXPECT_TRUE(approx_equal(run.le.lists[v], ref[v]))
+          << c.name << " vertex " << v;
+    }
+  }
 }
 
 }  // namespace

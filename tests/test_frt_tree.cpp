@@ -164,6 +164,41 @@ TEST(FrtTree, DisconnectedGraphIsRejected) {
                std::logic_error);
 }
 
+TEST(FrtTree, CachedDistanceMatchesPerQueryRecomputationBitForBit) {
+  // distance() now looks the weight sum up in the per-build LCA-level
+  // cache instead of re-summing both root paths per call.  This pins the
+  // new values to the pre-cache formula (ascending Σ 2·edge_weight(l) up
+  // to the divergence level) bit-for-bit, for every pair and several
+  // graph families.
+  for (const std::uint64_t seed : {901ULL, 902ULL, 903ULL}) {
+    Rng gr(seed);
+    const auto g = make_gnm(48, 110, {1.0, 6.0}, gr);
+    Rng rng(seed + 1);
+    const auto t = sample_frt_direct(g, rng).tree;
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      for (Vertex v = u + 1; v < g.num_vertices(); ++v) {
+        const Weight got = t.distance(u, v);
+        // Divergence level = LCA level, recovered structurally (leaves sit
+        // at level 0 and every edge climbs exactly one level, so lockstep
+        // parent walks meet at the LCA).
+        FrtTree::NodeId a = t.leaf_of(u);
+        FrtTree::NodeId b = t.leaf_of(v);
+        while (a != b) {
+          a = t.node(a).parent;
+          b = t.node(b).parent;
+        }
+        const unsigned diverge = t.node(a).level;
+        Weight ref = 0.0;
+        for (unsigned l = 0; l < diverge; ++l) {
+          const Weight step = 2.0 * t.edge_weight(l);
+          ref += step;
+        }
+        EXPECT_EQ(ref, got) << "pair " << u << "-" << v;
+      }
+    }
+  }
+}
+
 TEST(FrtTree, BottomUpOrderIsTopological) {
   Rng rng(6);
   const auto g = make_gnm(20, 40, {1.0, 2.0}, rng);

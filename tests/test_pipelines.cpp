@@ -1,23 +1,22 @@
 // Integration tests: the four FRT sampling pipelines of Section 7.4
-// produce comparable, valid embeddings end to end.
+// produce comparable, valid embeddings end to end.  Graphs come from the
+// shared tests/support fixture library so families, sizes, and seeds stay
+// consistent across suites.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "src/frt/pipelines.hpp"
 #include "src/frt/stretch.hpp"
-#include "src/graph/generators.hpp"
 #include "src/graph/shortest_paths.hpp"
+#include "tests/support/fixtures.hpp"
 
 namespace pmte {
 namespace {
 
 class Pipelines : public ::testing::TestWithParam<std::uint64_t> {
  protected:
-  Graph random_graph() {
-    Rng rng(GetParam());
-    return make_gnm(56, 130, {1.0, 5.0}, rng);
-  }
+  Graph random_graph() { return test::support_graph("gnm", 56, GetParam()); }
 };
 
 TEST_P(Pipelines, AllFourProduceDominatingTrees) {
@@ -47,7 +46,7 @@ TEST_P(Pipelines, OracleNeedsFarFewerIterations) {
   // The paper's headline: polylog iterations instead of SPD(G).
   Rng rng(GetParam() + 2);
   const Vertex n = 192;
-  const auto g = make_path(n, {1.0, 2.0}, rng);
+  const auto g = test::support_graph("path", n, GetParam() + 2);
   auto direct = sample_frt_direct(g, rng);
   auto oracle = sample_frt_oracle(g, rng);
   EXPECT_GE(direct.iterations, n / 2 - 4);
@@ -69,9 +68,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, Pipelines,
 
 TEST(Pipelines, OracleStretchComparableToDirect) {
   // Corollary 7.10: the oracle pipeline pays only (1+o(1)) extra stretch.
+  const auto g = test::support_graph("grid", 72, 7);  // 9×9
+  const Vertex n = g.num_vertices();
   Rng rng(7);
-  const Vertex n = 72;
-  const auto g = make_grid(8, 9, {1.0, 3.0}, rng);
   const auto pairs = sample_pairs(g, 16, 200, rng);
   std::vector<FrtTree> direct_trees, oracle_trees;
   // Share one simulated graph across oracle samples (fresh β/order each).
@@ -100,13 +99,25 @@ TEST(Pipelines, EpsHatResolution) {
 }
 
 TEST(Pipelines, WorkAccountingMonotonicInSize) {
+  const auto small = test::support_graph("gnm", 32, 8);
+  const auto large = test::support_graph("gnm", 128, 8);
   Rng rng(8);
-  const auto small = make_gnm(32, 64, {1.0, 2.0}, rng);
-  const auto large = make_gnm(128, 400, {1.0, 2.0}, rng);
   auto ws = sample_frt_direct(small, rng).work;
   auto wl = sample_frt_direct(large, rng).work;
   EXPECT_GT(ws, 0U);
   EXPECT_GT(wl, ws);
+}
+
+TEST(Pipelines, DirectPipelineValidOverSupportCorpus) {
+  // Corpus smoke: every family/size the shared fixtures produce yields a
+  // structurally valid dominating embedding (detailed dominance checks
+  // live in test_frt_properties; this pins the fixtures themselves).
+  for (const auto& c : test::small_graph_corpus(16, 1204)) {
+    Rng rng(c.seed);
+    const auto s = sample_frt_direct(c.graph, rng);
+    s.tree.validate();
+    EXPECT_EQ(s.tree.num_leaves(), c.graph.num_vertices()) << c.name;
+  }
 }
 
 }  // namespace

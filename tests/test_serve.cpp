@@ -1,0 +1,502 @@
+// Serving-layer suite: the flat FrtIndex must answer exactly what the
+// source FrtTree answers (bit-for-bit — the index copies the tree's
+// LCA-level distance table instead of re-deriving floating-point sums),
+// the ensemble policies must match brute-force folds over the per-tree
+// values, persisted ensembles must round-trip exactly, and batch serving
+// must be bit-identical across thread counts and build parallelism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "src/frt/pipelines.hpp"
+#include "src/serve/frt_ensemble.hpp"
+#include "src/serve/frt_index.hpp"
+#include "src/serve/workloads.hpp"
+#include "tests/support/fixtures.hpp"
+
+namespace pmte {
+namespace {
+
+constexpr std::size_t kCorpusSize = 50;
+constexpr std::uint64_t kCorpusSeed = 7001;  // same corpus as frt_properties
+
+/// Brute-force tree distance: climb both leaves to their common ancestor
+/// along parent pointers — independent of both FrtTree::distance and the
+/// index math (different summation order, hence EXPECT_NEAR).
+Weight brute_force_tree_distance(const FrtTree& t, Vertex u, Vertex v) {
+  auto root_path = [&](Vertex leaf) {
+    std::vector<FrtTree::NodeId> path{t.leaf_of(leaf)};
+    while (t.node(path.back()).parent != FrtTree::invalid_node) {
+      path.push_back(t.node(path.back()).parent);
+    }
+    return path;
+  };
+  const auto pu = root_path(u);
+  const auto pv = root_path(v);
+  // Walk down from the root while the paths agree.
+  std::size_t i = pu.size();
+  std::size_t j = pv.size();
+  while (i > 0 && j > 0 && pu[i - 1] == pv[j - 1]) {
+    --i;
+    --j;
+  }
+  Weight d = 0.0;
+  for (std::size_t a = 0; a < i; ++a) d += t.node(pu[a]).parent_edge;
+  for (std::size_t b = 0; b < j; ++b) d += t.node(pv[b]).parent_edge;
+  return d;
+}
+
+FrtTree::NodeId brute_force_lca(const FrtTree& t, Vertex u, Vertex v) {
+  std::vector<bool> ancestor(t.num_nodes(), false);
+  for (FrtTree::NodeId id = t.leaf_of(u);; id = t.node(id).parent) {
+    ancestor[id] = true;
+    if (t.node(id).parent == FrtTree::invalid_node) break;
+  }
+  FrtTree::NodeId id = t.leaf_of(v);
+  while (!ancestor[id]) id = t.node(id).parent;
+  return id;
+}
+
+TEST(FrtIndex, BitIdenticalToTreeOnPropertyCorpus) {
+  const auto corpus = test::small_graph_corpus(kCorpusSize, kCorpusSeed);
+  for (const auto& c : corpus) {
+    Rng rng(c.seed);
+    const auto s = sample_frt_direct(c.graph, rng);
+    const auto idx = serve::FrtIndex::build(s.tree);
+    idx.validate();
+    ASSERT_EQ(idx.num_leaves(), c.graph.num_vertices()) << c.name;
+    EXPECT_EQ(idx.num_nodes(), s.tree.num_nodes()) << c.name;
+    EXPECT_EQ(idx.num_levels(), s.tree.num_levels()) << c.name;
+    const Vertex n = c.graph.num_vertices();
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u; v < n; ++v) {
+        const Weight dt = s.tree.distance(u, v);
+        const Weight di = idx.distance(u, v);
+        // Bit-for-bit: both read the same cached LCA-level table.
+        EXPECT_EQ(dt, di) << c.name << " pair " << u << "-" << v;
+        EXPECT_EQ(di, idx.distance(v, u)) << c.name << " symmetry";
+      }
+    }
+  }
+}
+
+TEST(FrtIndex, MatchesBruteForceTreeMetricAndLca) {
+  const auto corpus = test::small_graph_corpus(12, kCorpusSeed + 2);
+  for (const auto& c : corpus) {
+    Rng rng(c.seed);
+    const auto s = sample_frt_direct(c.graph, rng);
+    const auto idx = serve::FrtIndex::build(s.tree);
+    const Vertex n = c.graph.num_vertices();
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        const Weight ref = brute_force_tree_distance(s.tree, u, v);
+        const Weight got = idx.distance(u, v);
+        EXPECT_NEAR(got, ref, 1e-9 * (1.0 + ref))
+            << c.name << " pair " << u << "-" << v;
+        EXPECT_EQ(idx.lca(u, v), brute_force_lca(s.tree, u, v))
+            << c.name << " pair " << u << "-" << v;
+      }
+    }
+  }
+}
+
+TEST(FrtIndex, WeightedDepthsAreRootPathPrefixSums) {
+  const auto corpus = test::small_graph_corpus(8, kCorpusSeed + 3);
+  for (const auto& c : corpus) {
+    Rng rng(c.seed);
+    const auto s = sample_frt_direct(c.graph, rng);
+    const auto idx = serve::FrtIndex::build(s.tree);
+    EXPECT_EQ(idx.weighted_depth(s.tree.root()), 0.0) << c.name;
+    for (FrtTree::NodeId id = 0; id < s.tree.num_nodes(); ++id) {
+      const auto& nd = s.tree.node(id);
+      if (nd.parent == FrtTree::invalid_node) continue;
+      EXPECT_EQ(idx.weighted_depth(id),
+                idx.weighted_depth(nd.parent) + nd.parent_edge)
+          << c.name << " node " << id;
+    }
+  }
+}
+
+TEST(FrtIndex, SingleVertexTree) {
+  std::vector<DistanceMap> lists{DistanceMap::singleton(0, 0.0)};
+  const auto order = VertexOrder::identity(1);
+  const auto t = FrtTree::build(lists, order, 1.5, 1.0);
+  const auto idx = serve::FrtIndex::build(t);
+  idx.validate();
+  EXPECT_EQ(idx.num_leaves(), 1U);
+  EXPECT_EQ(idx.distance(0, 0), 0.0);
+}
+
+TEST(FrtIndex, SaveLoadRoundTripIsExact) {
+  const auto corpus = test::serve_graph_corpus(4, 909);
+  for (const auto& c : corpus) {
+    Rng rng(c.seed);
+    const auto s = sample_frt_direct(c.graph, rng);
+    const auto idx = serve::FrtIndex::build(s.tree);
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    idx.save(buf);
+    const std::string bytes = buf.str();
+    const auto loaded = serve::FrtIndex::load(buf);
+    EXPECT_TRUE(loaded == idx) << c.name;
+    // Re-saving the loaded index reproduces the bytes exactly.
+    std::stringstream buf2(std::ios::in | std::ios::out | std::ios::binary);
+    loaded.save(buf2);
+    EXPECT_EQ(buf2.str(), bytes) << c.name;
+    // And queries agree bit-for-bit.
+    const Vertex n = c.graph.num_vertices();
+    Rng qrng(c.seed ^ 0xabcdULL);
+    for (int i = 0; i < 200; ++i) {
+      const auto u = static_cast<Vertex>(qrng.below(n));
+      const auto v = static_cast<Vertex>(qrng.below(n));
+      EXPECT_EQ(loaded.distance(u, v), idx.distance(u, v)) << c.name;
+    }
+  }
+}
+
+TEST(FrtIndex, LoadRejectsGarbage) {
+  std::stringstream empty(std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW((void)serve::FrtIndex::load(empty), std::logic_error);
+
+  std::stringstream junk(std::ios::in | std::ios::out | std::ios::binary);
+  junk << "definitely not a PMTE index file, padded to be long enough";
+  EXPECT_THROW((void)serve::FrtIndex::load(junk), std::logic_error);
+
+  // Truncated but well-prefixed input must throw, not misparse.
+  std::vector<DistanceMap> lists{DistanceMap::singleton(0, 0.0)};
+  const auto order = VertexOrder::identity(1);
+  const auto idx =
+      serve::FrtIndex::build(FrtTree::build(lists, order, 1.5, 1.0));
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  idx.save(full);
+  const std::string bytes = full.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << bytes.substr(0, bytes.size() / 2);
+  EXPECT_THROW((void)serve::FrtIndex::load(cut), std::logic_error);
+}
+
+TEST(FrtIndex, LoadRejectsAliasedLeafPositions) {
+  // Two vertices sharing a leaf position would serve distance 0.0 for a
+  // distinct pair; validate() (run on load) must reject such a file.
+  const auto g = test::support_graph("gnm", 24, 31);
+  Rng rng(31);
+  const auto s = sample_frt_direct(g, rng);
+  const auto idx = serve::FrtIndex::build(s.tree);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  idx.save(buf);
+  std::string bytes = buf.str();
+  // Layout: magic block(16) + levels(4) + beta(8), then the length-
+  // prefixed vectors node_level_(u32×N), wdepth_(f64×N),
+  // euler_node_/euler_level_(u32×(2N−1) each), leaf_pos_(u32×n).
+  const std::uint64_t N = idx.num_nodes();
+  const std::size_t leaf_data_off = 16 + 4 + 8 + (8 + 4 * N) + (8 + 8 * N) +
+                                    2 * (8 + 4 * (2 * N - 1)) + 8;
+  std::uint64_t decoded_len = 0;
+  std::memcpy(&decoded_len, bytes.data() + leaf_data_off - 8,
+              sizeof(decoded_len));
+  ASSERT_EQ(decoded_len, idx.num_leaves()) << "layout drifted; fix offset";
+  // Alias leaf 1 onto leaf 0's position.
+  std::memcpy(bytes.data() + leaf_data_off + 4, bytes.data() + leaf_data_off,
+              4);
+  std::stringstream corrupt(std::ios::in | std::ios::out | std::ios::binary);
+  corrupt << bytes;
+  EXPECT_THROW((void)serve::FrtIndex::load(corrupt), std::logic_error);
+}
+
+// --- Ensemble -------------------------------------------------------------
+
+serve::EnsembleOptions small_ensemble_options(std::size_t trees) {
+  serve::EnsembleOptions opts;
+  opts.trees = trees;
+  // The direct pipeline keeps corpus-wide ensemble tests fast; oracle
+  // coverage runs on a slice below.
+  opts.pipeline = serve::EnsemblePipeline::direct;
+  return opts;
+}
+
+TEST(FrtEnsemble, PoliciesMatchBruteForceFolds) {
+  const auto corpus = test::serve_graph_corpus(6, 911);
+  for (const auto& c : corpus) {
+    const auto e =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(5));
+    const Vertex n = c.graph.num_vertices();
+    Rng qrng(c.seed + 17);
+    for (int i = 0; i < 300; ++i) {
+      const auto u = static_cast<Vertex>(qrng.below(n));
+      const auto v = static_cast<Vertex>(qrng.below(n));
+      std::vector<Weight> per_tree;
+      for (std::size_t t = 0; t < e.num_trees(); ++t) {
+        per_tree.push_back(e.index(t).distance(u, v));
+      }
+      const Weight ref_min =
+          *std::min_element(per_tree.begin(), per_tree.end());
+      std::nth_element(per_tree.begin(),
+                       per_tree.begin() + per_tree.size() / 2,
+                       per_tree.end());
+      const Weight ref_median = per_tree[per_tree.size() / 2];
+      EXPECT_EQ(e.query(u, v, serve::AggregatePolicy::min), ref_min)
+          << c.name;
+      EXPECT_EQ(e.query(u, v, serve::AggregatePolicy::median), ref_median)
+          << c.name;
+    }
+  }
+}
+
+TEST(FrtEnsemble, MinPolicyDominatesAndTightensWithMoreTrees) {
+  // Every tree dominates dist_G, so min over trees still does — and more
+  // trees can only lower (never raise) the served min.
+  const auto corpus = test::serve_graph_corpus(3, 912);
+  for (const auto& c : corpus) {
+    const auto big =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(8));
+    const Vertex n = c.graph.num_vertices();
+    Rng qrng(c.seed + 5);
+    for (int i = 0; i < 200; ++i) {
+      const auto u = static_cast<Vertex>(qrng.below(n));
+      const auto v = static_cast<Vertex>(qrng.below(n));
+      Weight min4 = big.index(0).distance(u, v);
+      for (std::size_t t = 1; t < 4; ++t) {
+        min4 = std::min(min4, big.index(t).distance(u, v));
+      }
+      const Weight min8 = big.query(u, v, serve::AggregatePolicy::min);
+      EXPECT_LE(min8, min4) << c.name;
+      if (u != v) {
+        EXPECT_GT(min8, 0.0) << c.name;
+      }
+    }
+  }
+}
+
+TEST(FrtEnsemble, OraclePipelineEnsembleWorks) {
+  const auto corpus = test::serve_graph_corpus(2, 913);
+  for (const auto& c : corpus) {
+    serve::EnsembleOptions opts;
+    opts.trees = 3;
+    opts.pipeline = serve::EnsemblePipeline::oracle;
+    const auto e = serve::FrtEnsemble::build(c.graph, c.seed, opts);
+    EXPECT_EQ(e.num_trees(), 3U) << c.name;
+    EXPECT_EQ(e.num_vertices(), c.graph.num_vertices()) << c.name;
+    EXPECT_GT(e.build_stats().relaxations, 0U) << c.name;
+    for (std::size_t t = 0; t < e.num_trees(); ++t) e.index(t).validate();
+    EXPECT_GT(e.query(0, c.graph.num_vertices() - 1,
+                      serve::AggregatePolicy::min),
+              0.0)
+        << c.name;
+  }
+}
+
+TEST(FrtEnsemble, ReproducibleAcrossBuildParallelism) {
+  // Satellite fix: per-tree RNG streams split from the master seed, so the
+  // ensemble is a pure function of (graph, seed) — independent of build
+  // order and thread count.
+  const auto corpus = test::serve_graph_corpus(3, 914);
+  const int saved_threads = num_threads();
+  for (const auto& c : corpus) {
+    auto opts = small_ensemble_options(4);
+    opts.parallel_build = false;
+    const auto serial = serve::FrtEnsemble::build(c.graph, c.seed, opts);
+    opts.parallel_build = true;
+    for (const int threads : {1, 2, 8}) {
+      set_num_threads(threads);
+      const auto parallel = serve::FrtEnsemble::build(c.graph, c.seed, opts);
+      EXPECT_TRUE(parallel == serial)
+          << c.name << " at " << threads << " threads";
+    }
+    set_num_threads(saved_threads);
+  }
+}
+
+TEST(FrtEnsemble, BatchMatchesSingleQueriesAndIsThreadDeterministic) {
+  const auto corpus = test::serve_graph_corpus(3, 915);
+  const int saved_threads = num_threads();
+  for (const auto& c : corpus) {
+    const auto e =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(5));
+    Rng wrng(c.seed + 99);
+    serve::WorkloadOptions wopts;
+    wopts.pairs = 2000;
+    const auto pairs = serve::make_workload(
+        c.graph, serve::WorkloadKind::uniform, wopts, wrng);
+
+    for (const auto policy :
+         {serve::AggregatePolicy::min, serve::AggregatePolicy::median}) {
+      std::vector<Weight> reference;
+      auto ref_stats = e.query_batch(pairs, policy, reference);
+      EXPECT_EQ(ref_stats.pairs, pairs.size());
+      EXPECT_EQ(ref_stats.tree_lookups, pairs.size() * e.num_trees());
+      for (std::size_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(reference[i],
+                  e.query(pairs[i].first, pairs[i].second, policy))
+            << c.name << " pair " << i;
+      }
+      for (const int threads : {1, 2, 8}) {
+        set_num_threads(threads);
+        std::vector<Weight> out;
+        const auto stats = e.query_batch(pairs, policy, out);
+        EXPECT_EQ(out, reference)
+            << c.name << " at " << threads << " threads";
+        EXPECT_EQ(stats.pairs, ref_stats.pairs);
+        EXPECT_EQ(stats.tree_lookups, ref_stats.tree_lookups);
+        EXPECT_EQ(stats.lca_probes, ref_stats.lca_probes);
+      }
+      set_num_threads(saved_threads);
+    }
+  }
+}
+
+TEST(FrtEnsemble, SaveLoadRoundTripIsExact) {
+  const auto corpus = test::serve_graph_corpus(2, 916);
+  for (const auto& c : corpus) {
+    const auto e =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(4));
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    e.save(buf);
+    const std::string bytes = buf.str();
+    const auto loaded = serve::FrtEnsemble::load(buf);
+    EXPECT_TRUE(loaded == e) << c.name;
+    EXPECT_EQ(loaded.master_seed(), e.master_seed()) << c.name;
+    std::stringstream buf2(std::ios::in | std::ios::out | std::ios::binary);
+    loaded.save(buf2);
+    EXPECT_EQ(buf2.str(), bytes) << c.name;
+
+    Rng wrng(c.seed + 3);
+    serve::WorkloadOptions wopts;
+    wopts.pairs = 500;
+    const auto pairs = serve::make_workload(
+        c.graph, serve::WorkloadKind::zipf, wopts, wrng);
+    std::vector<Weight> a, b;
+    e.query_batch(pairs, serve::AggregatePolicy::median, a);
+    loaded.query_batch(pairs, serve::AggregatePolicy::median, b);
+    EXPECT_EQ(a, b) << c.name;
+  }
+}
+
+TEST(FrtEnsemble, FingerprintIdentifiesTheBuildGraph) {
+  // The persisted fingerprint lets loaders refuse to serve a different
+  // graph's distances (serve_queries --load hard-fails on mismatch).
+  const auto a = test::support_graph("gnm", 64, 21);
+  const auto b = test::support_graph("gnm", 64, 22);   // same family/size
+  const auto c = test::support_graph("grid", 64, 21);  // same seed
+  EXPECT_EQ(serve::FrtEnsemble::fingerprint(a),
+            serve::FrtEnsemble::fingerprint(a));
+  EXPECT_NE(serve::FrtEnsemble::fingerprint(a),
+            serve::FrtEnsemble::fingerprint(b));
+  EXPECT_NE(serve::FrtEnsemble::fingerprint(a),
+            serve::FrtEnsemble::fingerprint(c));
+
+  const auto e = serve::FrtEnsemble::build(a, 21, small_ensemble_options(2));
+  EXPECT_EQ(e.graph_fingerprint(), serve::FrtEnsemble::fingerprint(a));
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  e.save(buf);
+  EXPECT_EQ(serve::FrtEnsemble::load(buf).graph_fingerprint(),
+            e.graph_fingerprint());
+}
+
+TEST(FrtEnsemble, LoadRejectsCorruptLengthPrefix) {
+  // A corrupt (not merely truncated) length field must be rejected before
+  // any allocation is attempted.
+  const auto corpus = test::serve_graph_corpus(1, 919);
+  const auto& c = corpus.front();
+  const auto e =
+      serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(2));
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  e.save(buf);
+  std::string bytes = buf.str();
+  // The first index payload starts right after the ensemble header —
+  // magic(8) + endian probe(4) + version(4) + seed(8) + fingerprint(8) +
+  // count(8) — and its own magic block(16) + levels(4) + beta(8); the
+  // next 8 bytes are node_level_'s length prefix — blow it up.
+  const std::size_t len_off = 16 + 8 + 8 + 8 + 16 + 4 + 8;
+  // Large enough that len·4 bytes cannot fit in the file, small enough
+  // that a missing pre-allocation guard would really try to allocate.
+  const std::uint64_t absurd = 1ULL << 33;
+  // Guard the offset arithmetic: the bytes being corrupted must currently
+  // decode to the index's node count (the length of node_level_).
+  const auto e_nodes = static_cast<std::uint64_t>(e.index(0).num_nodes());
+  std::uint64_t decoded = 0;
+  std::memcpy(&decoded, bytes.data() + len_off, sizeof(decoded));
+  ASSERT_EQ(decoded, e_nodes) << "layout drifted; fix len_off";
+  std::memcpy(bytes.data() + len_off, &absurd, sizeof(absurd));
+  std::stringstream corrupt(std::ios::in | std::ios::out | std::ios::binary);
+  corrupt << bytes;
+  EXPECT_THROW((void)serve::FrtEnsemble::load(corrupt), std::logic_error);
+}
+
+TEST(FrtEnsemble, LoadRejectsWrongArtefactKind) {
+  // An index file is not an ensemble file and vice versa.
+  const auto corpus = test::serve_graph_corpus(1, 917);
+  const auto& c = corpus.front();
+  const auto e =
+      serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(2));
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  e.save(buf);
+  EXPECT_THROW((void)serve::FrtIndex::load(buf), std::logic_error);
+
+  std::stringstream ibuf(std::ios::in | std::ios::out | std::ios::binary);
+  e.index(0).save(ibuf);
+  EXPECT_THROW((void)serve::FrtEnsemble::load(ibuf), std::logic_error);
+}
+
+// --- Workloads & seeding --------------------------------------------------
+
+TEST(Workloads, AreDeterministicAndInRange) {
+  const auto corpus = test::serve_graph_corpus(2, 918);
+  for (const auto& c : corpus) {
+    for (const auto kind :
+         {serve::WorkloadKind::uniform, serve::WorkloadKind::bfs_local,
+          serve::WorkloadKind::zipf}) {
+      serve::WorkloadOptions opts;
+      opts.pairs = 777;
+      Rng a(c.seed), b(c.seed);
+      const auto pa = serve::make_workload(c.graph, kind, opts, a);
+      const auto pb = serve::make_workload(c.graph, kind, opts, b);
+      EXPECT_EQ(pa, pb) << c.name << " " << serve::workload_name(kind);
+      EXPECT_EQ(pa.size(), opts.pairs);
+      for (const auto& [u, v] : pa) {
+        EXPECT_LT(u, c.graph.num_vertices());
+        EXPECT_LT(v, c.graph.num_vertices());
+      }
+    }
+  }
+}
+
+TEST(Workloads, ZipfIsSkewedUniformIsNot) {
+  const auto g = test::support_graph("gnm", 256, 4242);
+  serve::WorkloadOptions opts;
+  opts.pairs = 20000;
+  opts.zipf_s = 1.2;
+  Rng rng(5);
+  const auto zipf =
+      serve::make_workload(g, serve::WorkloadKind::zipf, opts, rng);
+  std::vector<std::size_t> freq(g.num_vertices(), 0);
+  for (const auto& [u, v] : zipf) {
+    ++freq[u];
+    ++freq[v];
+  }
+  std::sort(freq.rbegin(), freq.rend());
+  const auto total = 2 * opts.pairs;
+  // The hottest 16 of 256 vertices should carry far more than their
+  // uniform share (16/256 ≈ 6%).
+  std::size_t hot = 0;
+  for (std::size_t i = 0; i < 16; ++i) hot += freq[i];
+  EXPECT_GT(hot, total / 3);
+}
+
+TEST(SplitSeed, StreamsAreDistinctAndOrderFree) {
+  // Documented scheme: stream i is a pure function of (master, i).
+  EXPECT_EQ(split_seed(42, 7), split_seed(42, 7));
+  EXPECT_NE(split_seed(42, 7), split_seed(42, 8));
+  EXPECT_NE(split_seed(42, 7), split_seed(43, 7));
+  EXPECT_NE(split_seed(42, 0), 42U);  // stream 0 ≠ master itself
+  // No short-range collisions over a realistic ensemble size.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t t = 0; t < 4096; ++t) seeds.push_back(split_seed(1, t));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+}  // namespace
+}  // namespace pmte
