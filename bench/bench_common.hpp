@@ -44,6 +44,27 @@ inline bool wants_counters(int argc, char** argv) {
   return false;
 }
 
+/// Fold a double's IEEE-754 bit pattern into an FNV-1a hash (result
+/// pinning for the counter scenarios).
+inline std::uint64_t fnv1a_fold_f64(std::uint64_t hash, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv1a_fold(hash, bits);
+}
+
+/// Fold a 64-bit hash to the 32 bits the counter JSON carries.
+inline std::uint64_t fold32(std::uint64_t hash) {
+  return (hash >> 32) ^ (hash & 0xffffffffULL);
+}
+
+/// FNV-1a over a result vector's bit patterns, folded to 32 bits so the
+/// value survives double-precision JSON rewriting.
+inline std::uint64_t result_hash32(const std::vector<double>& out) {
+  std::uint64_t hash = kFnv1aInit;
+  for (const double d : out) hash = fnv1a_fold_f64(hash, d);
+  return fold32(hash);
+}
+
 /// Emit the scenarios in the schema check_bench_regression.py consumes.
 inline void emit_counters(std::ostream& os,
                           const std::vector<CounterScenario>& scenarios) {

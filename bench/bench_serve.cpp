@@ -12,11 +12,12 @@
 // lookups, LCA probes).  result_hash32 additionally pins the served
 // distances bit-for-bit (ungated, but any drift shows in the JSON diff).
 
-#include <cstring>
 
 #include "bench/bench_common.hpp"
 #include "src/parallel/counters.hpp"
 #include "src/serve/frt_ensemble.hpp"
+#include "src/serve/hot_pair_cache.hpp"
+#include "src/serve/stretch_report.hpp"
 #include "src/serve/workloads.hpp"
 
 namespace pmte::bench {
@@ -54,19 +55,38 @@ CounterScenario query_scenario(const std::string& name,
   const auto workload = serve::make_workload(g, kind, wopts, rng);
   std::vector<Weight> out;
   const auto st = e.query_batch(workload, policy, out);
-  // FNV-1a over the served bit patterns, folded to 32 bits so the value
-  // survives double-precision JSON rewriting.
-  std::uint64_t hash = kFnv1aInit;
-  for (const Weight d : out) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &d, sizeof(bits));
-    hash = fnv1a_fold(hash, bits);
-  }
   return CounterScenario{name,
                          {{"queries", st.pairs},
                           {"tree_lookups", st.tree_lookups},
                           {"lca_probes", st.lca_probes},
-                          {"result_hash32", (hash >> 32) ^ (hash & 0xffffffffULL)}}};
+                          {"result_hash32", result_hash32(out)}}};
+}
+
+CounterScenario cached_query_scenario(const std::string& name,
+                                      const serve::FrtEnsemble& e,
+                                      const Graph& g,
+                                      serve::WorkloadKind kind,
+                                      serve::AggregatePolicy policy,
+                                      std::size_t pairs, std::uint64_t seed,
+                                      std::size_t capacity) {
+  Rng rng(seed);
+  serve::WorkloadOptions wopts;
+  wopts.pairs = pairs;
+  const auto workload = serve::make_workload(g, kind, wopts, rng);
+  serve::HotPairCache cache(capacity);
+  std::vector<Weight> out;
+  const auto st = e.query_batch(workload, policy, out, &cache);
+  // result_hash32 must equal the uncached scenario's hash for the same
+  // workload — the cache changes the lookup counts, never the doubles.
+  // cache_hits is emitted ungated (more hits = better); cache_misses is
+  // gated like the lookup counters (growth = cache effectiveness lost).
+  return CounterScenario{name,
+                         {{"queries", st.pairs},
+                          {"tree_lookups", st.tree_lookups},
+                          {"lca_probes", st.lca_probes},
+                          {"cache_hits", st.cache_hits},
+                          {"cache_misses", st.cache_misses},
+                          {"result_hash32", result_hash32(out)}}};
 }
 
 void run_counters() {
@@ -94,6 +114,13 @@ void run_counters() {
                                      gnm, serve::WorkloadKind::bfs_local,
                                      serve::AggregatePolicy::min, 200000,
                                      3005));
+  // Same Zipf workload/seed as serve_query_zipf_median, with the hot-pair
+  // cache attached: result_hash32 must match it exactly, tree_lookups /
+  // lca_probes drop to the distinct-pair count.
+  scenarios.push_back(cached_query_scenario(
+      "serve_query_zipf_median_cached", served, gnm,
+      serve::WorkloadKind::zipf, serve::AggregatePolicy::median, 200000,
+      3004, /*capacity=*/1 << 15));
   emit_counters(std::cout, scenarios);
 }
 
@@ -135,9 +162,52 @@ void run(const Cli& cli) {
                    cell(static_cast<double>(pairs.size()) / s / 1e6),
                    cell(s * 1e9 / static_cast<double>(pairs.size()))});
       }
+      if (kind == serve::WorkloadKind::zipf) {
+        // Zipf again with the hot-pair cache (warmed by one pre-pass so
+        // the row shows steady-state hit-path throughput).
+        serve::HotPairCache cache(1 << 16);
+        std::vector<Weight> out;
+        (void)e.query_batch(pairs, serve::AggregatePolicy::min, out, &cache);
+        Timer timer;
+        (void)e.query_batch(pairs, serve::AggregatePolicy::min, out, &cache);
+        const double s = timer.seconds();
+        t.add_row({inst.name, cell(std::size_t{inst.graph.num_vertices()}),
+                   cell(e.num_trees()), cell(build_ms), "zipf+cache", "min",
+                   cell(pairs.size()),
+                   cell(static_cast<double>(pairs.size()) / s / 1e6),
+                   cell(s * 1e9 / static_cast<double>(pairs.size()))});
+      }
     }
   }
   t.print();
+
+  // Served quality, measured exactly (n Dijkstras + all-pairs queries —
+  // corpus-size graphs): the Kao–Lee–Wagner distance-weighted average
+  // stretch Σ served/Σ exact, plus mean/max/min of served/exact.  min ≥ 1
+  // certifies dominance of the served values.
+  std::cout << "\nExact served stretch (distance-weighted, vs brute-force "
+               "Dijkstra):\n\n";
+  const Vertex sn = quick(cli) ? 256 : 512;
+  Table st({"family", "n", "trees", "policy", "pairs", "weighted",
+            "mean", "max", "min"});
+  for (const auto* family : {"gnm", "grid", "geometric"}) {
+    auto inst = make_instance(family, sn, rng());
+    serve::EnsembleOptions opts;
+    opts.trees = 8;
+    opts.pipeline = serve::EnsemblePipeline::direct;
+    const auto e = serve::FrtEnsemble::build(inst.graph, rng(), opts);
+    for (const auto policy :
+         {serve::AggregatePolicy::min, serve::AggregatePolicy::median}) {
+      const auto q =
+          serve::measure_stretch_quality(inst.graph, e, policy);
+      st.add_row({inst.name, cell(std::size_t{inst.graph.num_vertices()}),
+                  cell(e.num_trees()), serve::policy_name(policy),
+                  cell(q.pairs), cell(q.weighted_stretch),
+                  cell(q.mean_stretch), cell(q.max_stretch),
+                  cell(q.min_stretch)});
+    }
+  }
+  st.print();
 }
 
 }  // namespace

@@ -23,8 +23,14 @@ After an intentional algorithmic change, regenerate the baseline with
   build/bench/bench_<name> --counters      (see scripts/run_benches.sh)
 and commit the updated BENCH_<name>.json.  Gated baselines: micro_ops
 (engine micro scenarios), le_lists and frt_pipelines (the sparse oracle /
-FRT pipeline scenarios), and serve (ensemble build work + batch-query
-counters: queries, per-tree lookups, sparse-table LCA probes).
+FRT pipeline scenarios), serve (ensemble build work + batch-query
+counters: queries, per-tree lookups, sparse-table LCA probes, hot-pair
+cache misses), and the application query paths — kmedian, buyatbulk,
+sketches (tree_node_visits = FrtTree pointer chases, zero on the flat
+serving paths; tree_lookups / lca_probes = flat index reads / RMQ probes).
+cache_hits and result_hash32 are emitted but deliberately NOT gated: hits
+growing is an improvement, and the hashes pin served values whose every
+drift should be reviewed in the JSON diff rather than thresholded.
 """
 
 import argparse
@@ -33,7 +39,8 @@ import sys
 
 GATED_METRICS = ("relaxations", "edges_touched", "work", "depth",
                  "iterations", "base_iterations",
-                 "queries", "tree_lookups", "lca_probes")
+                 "queries", "tree_lookups", "lca_probes",
+                 "tree_node_visits", "cache_misses")
 
 
 def load_scenarios(path):

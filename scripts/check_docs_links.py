@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's markdown files.
+
+Scans every tracked *.md file (the repo root and docs/, excluding build
+trees) for inline markdown links and images `[text](target)`, and checks
+that each *relative* target exists on disk.  External links (http/https/
+mailto), pure in-page anchors (#...), and absolute paths are skipped —
+this is a repo-consistency check, not a crawler.  Targets may carry a
+#fragment (README.md#serving) and an optional `path:line` suffix is NOT
+treated specially: link to files, not lines.
+
+Usage:
+  scripts/check_docs_links.py [--root DIR]
+
+Exit status: 0 = all relative links resolve, 1 = at least one is dead
+(each dead link is printed as file:line: target).  Run locally before
+committing doc changes; CI runs it as the docs-links job.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Inline links/images; deliberately simple — no reference-style links are
+# used in this repo.  Group 1 is the target inside the parentheses.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "build", ".ccache", "bench-out"}
+
+
+def iter_markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    dead = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                if os.path.isabs(target):
+                    continue
+                # Drop an in-page fragment: docs/FORMAT.md#header.
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target_path))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    dead.append(f"{rel}:{lineno}: {target}")
+    return dead
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root to scan (default: cwd)")
+    args = ap.parse_args()
+
+    dead = []
+    files = 0
+    for path in iter_markdown_files(args.root):
+        files += 1
+        dead.extend(check_file(path, args.root))
+
+    if dead:
+        print(f"{len(dead)} dead relative link(s):", file=sys.stderr)
+        for entry in dead:
+            print(f"  DEAD {entry}", file=sys.stderr)
+        return 1
+    print(f"docs links OK: {files} markdown files, all relative links "
+          "resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,18 @@
 //
 // Baselines: direct shortest-path routing (no consolidation) and the
 // fractional lower bound Σ_j d_j·dist(s_j,t_j)·min_i c_i/u_i.
+//
+// Step (2) runs on the flat serving index by default: the sampled tree is
+// compacted into a serve::FrtIndex, demand LCAs are O(1) sparse-table
+// probes instead of lockstep parent climbs, and the bottom-up flow
+// accumulation folds over the index's CSR children in the tree's child
+// order — flows, costs, and loaded-edge counts are bit-identical to the
+// pointer-climbing reference (pinned by test_buyatbulk's differential
+// suite); AppQueryCounters records the eliminated pointer chases.
 
 #include <vector>
 
+#include "src/apps/app_counters.hpp"
 #include "src/frt/pipelines.hpp"
 #include "src/graph/graph.hpp"
 #include "src/util/rng.hpp"
@@ -46,11 +55,16 @@ struct BabResult {
   double lower_bound = 0.0; ///< fractional LB (no solution can beat it)
   std::size_t loaded_tree_edges = 0;
   std::size_t dijkstra_runs = 0;  ///< path-unfolding cost
+  AppQueryCounters counters;      ///< LCA + flow-walk cost on the tree
 };
 
 struct BabOptions {
   FrtOptions frt;
   bool use_oracle_pipeline = false;  ///< default: direct LE iteration
+  /// Route over the flat serve::FrtIndex (default) or by climbing
+  /// FrtTree parent pointers (the pre-serving reference, kept for the
+  /// differential tests).  Results are bit-identical either way.
+  bool use_flat_index = true;
 };
 
 /// Run the FRT-based buy-at-bulk approximation and both baselines.

@@ -93,51 +93,104 @@ struct CondensedTree {
                                  // LCA at level s; last slot = ∞ sentinel
 };
 
-CondensedTree condense(const FrtTree& tree) {
+/// Shared condensation walk: `Source` answers root()/level/leaf_vertex/
+/// children for either the pointer-based tree or the flat index, and the
+/// traversal (explicit stack, children pushed in source order, popped
+/// LIFO) is byte-for-byte the same — so both sources yield the identical
+/// CondensedTree, including child order, hence identical DP fold order.
+template <typename Source>
+CondensedTree condense_via(const Source& src, unsigned levels) {
   CondensedTree ct;
-  const unsigned levels = tree.num_levels();
   ct.div_dist.assign(levels + 1, 0.0);
   for (unsigned s = 1; s < levels; ++s) {
-    ct.div_dist[s] = ct.div_dist[s - 1] + 2.0 * tree.edge_weight(s - 1);
+    ct.div_dist[s] = ct.div_dist[s - 1] + 2.0 * src.edge_weight(s - 1);
   }
   ct.div_dist[levels] = kInf;  // "no external facility"
 
   // Map FRT nodes to condensed ids, walking top-down; a node is kept if it
   // is the root, a leaf, or has ≥ 2 children.
-  std::vector<std::uint32_t> cid(tree.num_nodes(), ~0U);
   struct Item {
     FrtTree::NodeId frt;
     std::uint32_t parent;  // condensed parent
   };
   std::vector<Item> stack;
   ct.nodes.push_back(CondensedTree::Node{});
-  ct.nodes[0].level = tree.node(tree.root()).level;
-  ct.nodes[0].leaf_vertex = tree.node(tree.root()).leaf_vertex;
-  cid[tree.root()] = 0;
-  for (const auto c : tree.node(tree.root()).children) {
+  ct.nodes[0].level = src.level(src.root());
+  ct.nodes[0].leaf_vertex = src.leaf_vertex(src.root());
+  for (const auto c : src.children(src.root())) {
     stack.push_back(Item{c, 0});
   }
   while (!stack.empty()) {
     const auto [id, parent] = stack.back();
     stack.pop_back();
-    const auto& nd = tree.node(id);
-    const bool keep = nd.children.size() >= 2 || nd.leaf_vertex != no_vertex();
+    // By-reference for TreeSource's vector, lifetime-extended temporary
+    // for IndexSource's span — no per-node copies either way.
+    const auto& children = src.children(id);
+    const Vertex leaf = src.leaf_vertex(id);
+    const bool keep = children.size() >= 2 || leaf != no_vertex();
     std::uint32_t next_parent = parent;
     if (keep) {
       const auto me = static_cast<std::uint32_t>(ct.nodes.size());
       CondensedTree::Node cn;
-      cn.level = nd.level;
-      cn.leaf_vertex = nd.leaf_vertex;
+      cn.level = src.level(id);
+      cn.leaf_vertex = leaf;
       ct.nodes.push_back(cn);
       ct.nodes[parent].children.push_back(me);
-      cid[id] = me;
       next_parent = me;
     }
-    for (const auto c : nd.children) stack.push_back(Item{c, next_parent});
+    for (const auto c : children) stack.push_back(Item{c, next_parent});
   }
   // Degenerate case: the root kept a single child chain to a lone leaf.
   return ct;
 }
+
+/// Pointer-climbing source (the pre-serving reference): every accessor is
+/// a FrtTree::Node dereference, counted as tree_node_visits.
+struct TreeSource {
+  const FrtTree& tree;
+  mutable AppQueryCounters counters;
+
+  [[nodiscard]] FrtTree::NodeId root() const { return tree.root(); }
+  [[nodiscard]] unsigned level(FrtTree::NodeId id) const {
+    return tree.node(id).level;
+  }
+  [[nodiscard]] Vertex leaf_vertex(FrtTree::NodeId id) const {
+    return tree.node(id).leaf_vertex;
+  }
+  [[nodiscard]] const std::vector<FrtTree::NodeId>& children(
+      FrtTree::NodeId id) const {
+    // One count per visited node (children() is called exactly once per
+    // walked node); level/leaf_vertex read the same record.
+    ++counters.tree_node_visits;
+    return tree.node(id).children;
+  }
+  [[nodiscard]] Weight edge_weight(unsigned l) const {
+    return tree.edge_weight(l);
+  }
+};
+
+/// Flat source: contiguous array reads against the serving index, counted
+/// as tree_lookups; no FrtTree::Node is touched.
+struct IndexSource {
+  const serve::FrtIndex& index;
+  mutable AppQueryCounters counters;
+
+  [[nodiscard]] serve::FrtIndex::NodeId root() const { return index.root(); }
+  [[nodiscard]] unsigned level(serve::FrtIndex::NodeId id) const {
+    return index.level(id);
+  }
+  [[nodiscard]] Vertex leaf_vertex(serve::FrtIndex::NodeId id) const {
+    return index.leaf_vertex(id);
+  }
+  [[nodiscard]] std::span<const serve::FrtIndex::NodeId> children(
+      serve::FrtIndex::NodeId id) const {
+    ++counters.tree_lookups;
+    return index.children(id);
+  }
+  [[nodiscard]] Weight edge_weight(unsigned l) const {
+    return index.edge_weight(l);
+  }
+};
 
 /// Exact weighted k-median DP on the condensed HST.  dp[v][j][s] = optimal
 /// cost of subtree(v) with j facilities opened inside and the nearest
@@ -343,19 +396,45 @@ class TreeDp {
 
 }  // namespace
 
+namespace {
+
+TreeKMedian solve_on_condensed(const CondensedTree& ct,
+                               const std::vector<double>& leaf_weight,
+                               std::size_t k, Vertex leaves) {
+  TreeDp dp(ct, leaf_weight, std::min<std::size_t>(k, leaves));
+  TreeKMedian out;
+  out.cost = dp.best_cost();
+  dp.collect_centers(out.centers);
+  PMTE_CHECK(!out.centers.empty() && out.centers.size() <= k,
+             "tree DP produced an invalid center set");
+  return out;
+}
+
+}  // namespace
+
 TreeKMedian solve_kmedian_on_tree(const FrtTree& tree,
                                   const std::vector<double>& leaf_weight,
                                   std::size_t k) {
   PMTE_CHECK(leaf_weight.size() == tree.num_leaves(),
              "leaf weight count mismatch");
   PMTE_CHECK(k >= 1, "k must be positive");
-  const auto ct = condense(tree);
-  TreeDp dp(ct, leaf_weight, std::min<std::size_t>(k, tree.num_leaves()));
-  TreeKMedian out;
-  out.cost = dp.best_cost();
-  dp.collect_centers(out.centers);
-  PMTE_CHECK(!out.centers.empty() && out.centers.size() <= k,
-             "tree DP produced an invalid center set");
+  TreeSource src{tree, {}};
+  const auto ct = condense_via(src, tree.num_levels());
+  auto out = solve_on_condensed(ct, leaf_weight, k, tree.num_leaves());
+  out.counters = src.counters;
+  return out;
+}
+
+TreeKMedian solve_kmedian_on_index(const serve::FrtIndex& index,
+                                   const std::vector<double>& leaf_weight,
+                                   std::size_t k) {
+  PMTE_CHECK(leaf_weight.size() == index.num_leaves(),
+             "leaf weight count mismatch");
+  PMTE_CHECK(k >= 1, "k must be positive");
+  IndexSource src{index, {}};
+  const auto ct = condense_via(src, index.num_levels());
+  auto out = solve_on_condensed(ct, leaf_weight, k, index.num_leaves());
+  out.counters = src.counters;
   return out;
 }
 
@@ -429,7 +508,14 @@ KMedianResult kmedian_frt(const Graph& g, std::size_t k,
     auto order = VertexOrder::random(q, rng);
     auto le = le_lists_from_metric(sub, order);
     auto tree = FrtTree::build(le.lists, order, beta, sub_min);
-    auto sol = solve_kmedian_on_tree(tree, weight, k);
+    // The flat path compacts the sampled tree into the serving index and
+    // condenses over its arrays — bit-identical solution, no pointer
+    // chasing (the reference stays selectable for the differential suite).
+    auto sol = opts.use_flat_index
+                   ? solve_kmedian_on_index(serve::FrtIndex::build(tree),
+                                            weight, k)
+                   : solve_kmedian_on_tree(tree, weight, k);
+    best.counters += sol.counters;
     std::vector<Vertex> centers;
     centers.reserve(sol.centers.size());
     for (Vertex c : sol.centers) centers.push_back(candidates[c]);

@@ -13,12 +13,21 @@
 //
 // The returned centers are evaluated on the *graph* objective
 // Σ_v dist(v, F, G), the quantity Definition 9.1 asks for.
+//
+// The HST step runs on the flat serving index by default: the sampled
+// FrtTree is compacted into a serve::FrtIndex and the condensation walks
+// the index's Euler-tour/CSR arrays instead of FrtTree::Node pointers —
+// bit-identical condensed tree, DP table, centers, and costs (pinned by
+// test_kmedian's differential suite over the 50-graph corpus), zero
+// pointer chasing on the query path (AppQueryCounters).
 
 #include <cstddef>
 #include <vector>
 
+#include "src/apps/app_counters.hpp"
 #include "src/frt/frt_tree.hpp"
 #include "src/graph/graph.hpp"
+#include "src/serve/frt_index.hpp"
 #include "src/util/rng.hpp"
 
 namespace pmte {
@@ -27,6 +36,10 @@ struct KMedianOptions {
   std::size_t trees = 3;            ///< FRT samples; best result is kept
   double candidate_factor = 3.0;    ///< per-round sample size = factor·k
   std::size_t min_candidates = 8;
+  /// Solve the HST DP over the flat serve::FrtIndex (default) or over the
+  /// pointer-based FrtTree (the pre-serving reference, kept for the
+  /// differential tests).  Results are bit-identical either way.
+  bool use_flat_index = true;
 };
 
 struct KMedianResult {
@@ -34,6 +47,7 @@ struct KMedianResult {
   double cost = 0.0;            ///< Σ_v dist(v, centers, G)
   double tree_cost = 0.0;       ///< DP objective on the chosen tree
   std::size_t candidates = 0;   ///< |Q|
+  AppQueryCounters counters;    ///< tree-walk cost, summed over all trees
 };
 
 /// Graph k-median objective Σ_v dist(v, F, G).
@@ -61,9 +75,19 @@ struct KMedianResult {
 struct TreeKMedian {
   std::vector<Vertex> centers;  ///< leaf vertices (tree-local ids)
   double cost = 0.0;
+  AppQueryCounters counters;
 };
 [[nodiscard]] TreeKMedian solve_kmedian_on_tree(
     const FrtTree& tree, const std::vector<double>& leaf_weight,
+    std::size_t k);
+
+/// The same exact DP over a flat serving index of the tree.  The
+/// condensation walks the index's CSR children (identical traversal
+/// order), its divergence-distance table is the index's LCA-level table
+/// (copied verbatim from the tree), and the DP is shared code — centers
+/// and cost are bit-identical to solve_kmedian_on_tree of the source tree.
+[[nodiscard]] TreeKMedian solve_kmedian_on_index(
+    const serve::FrtIndex& index, const std::vector<double>& leaf_weight,
     std::size_t k);
 
 }  // namespace pmte

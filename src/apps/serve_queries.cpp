@@ -6,7 +6,9 @@
 //                   [--policy=min|median]
 //                   [--workload=uniform|bfs_local|zipf] [--queries=200000]
 //                   [--zipf-s=1.1] [--repeat=3]
+//                   [--cache] [--cache-capacity=65536]
 //                   [--save=FILE] [--load=FILE] [--threads=N] [--roundtrip]
+//                   [--stretch]
 //
 // The embedding lifecycle end to end: sample k FRT trees (one master
 // seed, split per tree), compact them into O(1)-query FrtIndex layouts,
@@ -14,15 +16,25 @@
 // format, then serve batched pair queries via the parallel batch API.
 // --roundtrip additionally pushes the ensemble through an in-memory
 // save→load cycle and fails loudly if anything changes.
+// --cache attaches a hot-pair cache to the replay (deterministic
+// first-touch admission; served values are bit-identical to the uncached
+// run, and the hit/miss counters are logical — thread-count independent).
+// --stretch measures the served quality exactly against brute-force
+// Dijkstra over every pair — the Kao–Lee–Wagner distance-weighted average
+// stretch plus mean/max/min — and is meant for corpus-size graphs (it runs
+// n Dijkstras and n²/2 queries).
 
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "src/graph/generators.hpp"
 #include "src/serve/frt_ensemble.hpp"
+#include "src/serve/hot_pair_cache.hpp"
+#include "src/serve/stretch_report.hpp"
 #include "src/serve/workloads.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/stats.hpp"
@@ -132,12 +144,20 @@ int main(int argc, char** argv) {
   const auto policy = serve::parse_policy(cli.get("policy", "min"));
 
   const auto repeat = std::max<std::int64_t>(1, cli.get_int("repeat", 3));
+  // Caller-owned hot-pair cache: persists across the repeat loop, so
+  // repeats after the first serve the hot set from the cache.
+  std::optional<serve::HotPairCache> cache;
+  if (cli.has("cache")) {
+    cache.emplace(
+        static_cast<std::size_t>(cli.get_int("cache-capacity", 65536)));
+  }
   std::vector<Weight> out;
   serve::FrtEnsemble::BatchStats stats;
   double best_seconds = 0.0;
   for (std::int64_t r = 0; r < repeat; ++r) {
     const Timer t;
-    stats = ensemble.query_batch(pairs, policy, out);
+    stats = ensemble.query_batch(pairs, policy, out,
+                                 cache ? &*cache : nullptr);
     const double s = t.seconds();
     if (r == 0 || s < best_seconds) best_seconds = s;
   }
@@ -153,7 +173,31 @@ int main(int argc, char** argv) {
             << " ns/query, " << num_threads() << " threads\n";
   std::cout << "counters: " << stats.tree_lookups << " tree lookups, "
             << stats.lca_probes << " LCA probes\n";
+  if (cache) {
+    const auto& cs = cache->stats();
+    std::cout << "cache (" << cache->capacity() << " slots): "
+              << stats.cache_hits << " hits / " << stats.cache_misses
+              << " misses last batch; cumulative " << cs.hits << " hits, "
+              << cs.misses << " misses, " << cs.admissions << " admissions, "
+              << cs.conflicts << " conflicts\n";
+  }
   std::cout << "distances: mean " << dist.mean() << ", max " << dist.max()
             << "\n";
+
+  if (cli.has("stretch")) {
+    // Exact quality of the served values: n Dijkstras + n²/2 queries.
+    const Timer t;
+    const auto q = serve::measure_stretch_quality(g, ensemble, policy);
+    std::cout << "stretch (exact, " << q.pairs << " pairs, policy "
+              << serve::policy_name(policy) << ", " << t.millis()
+              << " ms): distance-weighted avg " << q.weighted_stretch
+              << ", mean " << q.mean_stretch << ", max " << q.max_stretch
+              << ", min " << q.min_stretch << "\n";
+    if (q.pairs > 0 && q.min_stretch < 1.0) {
+      std::cerr << "FATAL: served distance below dist_G — dominance "
+                   "violated\n";
+      return 1;
+    }
+  }
   return 0;
 }

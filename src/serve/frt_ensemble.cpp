@@ -125,7 +125,8 @@ Weight FrtEnsemble::query(Vertex u, Vertex v, AggregatePolicy policy) const {
 
 FrtEnsemble::BatchStats FrtEnsemble::query_batch(
     const std::vector<std::pair<Vertex, Vertex>>& pairs,
-    AggregatePolicy policy, std::vector<Weight>& out) const {
+    AggregatePolicy policy, std::vector<Weight>& out,
+    HotPairCache* cache) const {
   PMTE_CHECK(!indices_.empty(), "FrtEnsemble::query_batch: empty ensemble");
   const std::size_t q = pairs.size();
   const std::size_t k = indices_.size();
@@ -135,24 +136,117 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
   const bool median = policy == AggregatePolicy::median;
   std::vector<Weight> scratch(
       median ? static_cast<std::size_t>(std::max(num_threads(), 1)) * k : 0);
-  parallel_for_balanced(
-      q, [k](std::size_t) { return k; },
-      [&](std::size_t i) {
-        Weight* s =
-            median ? scratch.data() +
-                         static_cast<std::size_t>(thread_index()) * k
-                   : nullptr;
-        out[i] = aggregate(pairs[i].first, pairs[i].second, policy, s);
-      });
+  auto thread_scratch = [&]() -> Weight* {
+    return median
+               ? scratch.data() + static_cast<std::size_t>(thread_index()) * k
+               : nullptr;
+  };
 
-  // Logical costs: every pair consults every tree; each u ≠ v lookup is
-  // exactly kLcaProbesPerQuery sparse-table probes (u == v short-circuits).
   BatchStats stats;
   stats.pairs = q;
-  stats.tree_lookups = static_cast<std::uint64_t>(q) * k;
-  std::uint64_t distinct = 0;
-  for (const auto& [u, v] : pairs) distinct += u != v ? 1 : 0;
-  stats.lca_probes = distinct * k * FrtIndex::kLcaProbesPerQuery;
+
+  if (cache == nullptr) {
+    parallel_for_balanced(
+        q, [k](std::size_t) { return k; },
+        [&](std::size_t i) {
+          out[i] = aggregate(pairs[i].first, pairs[i].second, policy,
+                             thread_scratch());
+        });
+    // Logical costs: every pair consults every tree; each u ≠ v lookup is
+    // exactly kLcaProbesPerQuery sparse-table probes (u==v short-circuits).
+    stats.tree_lookups = static_cast<std::uint64_t>(q) * k;
+    std::uint64_t distinct = 0;
+    for (const auto& [u, v] : pairs) distinct += u != v ? 1 : 0;
+    stats.lca_probes = distinct * k * FrtIndex::kLcaProbesPerQuery;
+    return stats;
+  }
+
+  // Cached batch, three phases.  Validate every pair *before* the cache
+  // sees any of them: probe() claims a slot at classification time and the
+  // value lands only in phase 1, so an exception in between would leave a
+  // claimed-but-unfilled slot behind in the caller-owned cache — checked
+  // here, the phases below cannot throw.
+  const auto n = static_cast<Vertex>(indices_.front().num_leaves());
+  for (const auto& [u, v] : pairs) {
+    PMTE_CHECK(u < n && v < n,
+               "FrtEnsemble::query_batch: vertex out of range");
+  }
+  // (0) A *serial* classification pass probes the cache per pair, so
+  // admissions, counters, and cache state depend only on the query
+  // sequence — never on thread interleaving.  The salt binds entries to
+  // this ensemble's identity (seed + graph) as well as the policy, so a
+  // cache accidentally reused across ensembles can only miss (stale slots
+  // become conflicts), never serve another ensemble's distances.
+  enum class Action : unsigned char { self, hit, fill, bypass };
+  const auto salt = static_cast<std::uint64_t>(policy) ^ master_seed_ ^
+                    graph_fingerprint_;
+  std::vector<Action> action(q);
+  std::vector<std::uint32_t> slot(q, 0);
+  std::vector<std::size_t> fills;
+  for (std::size_t i = 0; i < q; ++i) {
+    const auto [u, v] = pairs[i];
+    if (u == v) {
+      action[i] = Action::self;
+      continue;
+    }
+    switch (cache->probe(HotPairCache::pair_key(u, v, salt), &slot[i])) {
+      case HotPairCache::Outcome::hit:
+        action[i] = Action::hit;
+        ++stats.cache_hits;
+        break;
+      case HotPairCache::Outcome::fill:
+        action[i] = Action::fill;
+        fills.push_back(i);
+        ++stats.cache_misses;
+        break;
+      case HotPairCache::Outcome::bypass:
+        action[i] = Action::bypass;
+        ++stats.cache_misses;
+        break;
+    }
+  }
+
+  // (1) Compute each admitted pair once; every fill owns a distinct slot,
+  // so the parallel writes never collide.
+  parallel_for_balanced(
+      fills.size(), [k](std::size_t) { return k; },
+      [&](std::size_t f) {
+        const std::size_t i = fills[f];
+        cache->set_value(slot[i], aggregate(pairs[i].first, pairs[i].second,
+                                            policy, thread_scratch()));
+      });
+
+  // (2) Serve: hits and fills read their slot (the exact double phase 1
+  // stored — bit-identical to recomputing), bypasses compute directly.
+  std::uint64_t bypasses = 0;
+  for (std::size_t i = 0; i < q; ++i) bypasses += action[i] == Action::bypass;
+  parallel_for_balanced(
+      q,
+      [&](std::size_t i) {
+        return action[i] == Action::bypass ? k : std::size_t{1};
+      },
+      [&](std::size_t i) {
+        switch (action[i]) {
+          case Action::self:
+            out[i] = 0.0;
+            break;
+          case Action::hit:
+          case Action::fill:
+            out[i] = cache->value(slot[i]);
+            break;
+          case Action::bypass:
+            out[i] = aggregate(pairs[i].first, pairs[i].second, policy,
+                               thread_scratch());
+            break;
+        }
+      });
+
+  // Logical costs: only computed aggregates consult the trees.  u == v
+  // pairs short-circuit to 0.0 without lookups (the uncached path's k
+  // zero-distance reads are equally free — both serve the same double).
+  stats.tree_lookups = (fills.size() + bypasses) * k;
+  stats.lca_probes =
+      (fills.size() + bypasses) * k * FrtIndex::kLcaProbesPerQuery;
   return stats;
 }
 

@@ -26,6 +26,13 @@
 //                 counters (pairs, per-tree lookups, sparse-table probes)
 //                 for the CI bench gate; outputs are bit-identical across
 //                 thread counts.
+//   Hot pairs   — an optional caller-owned HotPairCache short-circuits
+//                 repeated pairs (Zipf traffic): a serial classification
+//                 pass decides hit/fill/bypass per pair, fills compute
+//                 once in parallel, everything else is an array read.
+//                 Served values are bit-identical with the cache on or
+//                 off, and the hit/miss counters are deterministic at any
+//                 thread count (see hot_pair_cache.hpp).
 //
 // save()/load() persist the whole ensemble (master seed + every index)
 // in the versioned binary format; round-trips are exact.
@@ -38,6 +45,7 @@
 
 #include "src/frt/pipelines.hpp"
 #include "src/serve/frt_index.hpp"
+#include "src/serve/hot_pair_cache.hpp"
 
 namespace pmte::serve {
 
@@ -104,18 +112,25 @@ class FrtEnsemble {
                              AggregatePolicy policy) const;
 
   /// Deterministic logical counters of one batch (the bench-gate metrics).
+  /// With a cache, tree_lookups / lca_probes count only the aggregates
+  /// actually computed (fills + bypasses) — the quantity the cache saves.
   struct BatchStats {
     std::uint64_t pairs = 0;
-    std::uint64_t tree_lookups = 0;  ///< pairs × trees
+    std::uint64_t tree_lookups = 0;  ///< computed pairs × trees
     std::uint64_t lca_probes = 0;    ///< sparse-table probes (u≠v only)
+    std::uint64_t cache_hits = 0;    ///< pairs served from the cache
+    std::uint64_t cache_misses = 0;  ///< cacheable pairs computed
   };
 
   /// Answer `pairs` into `out` (resized to match) under `policy`, in
   /// parallel via parallel_for_balanced.  Outputs and the returned
-  /// counters are bit-identical across thread counts.
+  /// counters are bit-identical across thread counts.  An optional
+  /// caller-owned `cache` short-circuits repeated pairs; served values are
+  /// bit-identical with and without it (one cache per query stream — the
+  /// classification pass mutates it, so no concurrent batches).
   BatchStats query_batch(const std::vector<std::pair<Vertex, Vertex>>& pairs,
-                         AggregatePolicy policy,
-                         std::vector<Weight>& out) const;
+                         AggregatePolicy policy, std::vector<Weight>& out,
+                         HotPairCache* cache = nullptr) const;
 
   void save(std::ostream& os) const;
   [[nodiscard]] static FrtEnsemble load(std::istream& is);

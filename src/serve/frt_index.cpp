@@ -18,6 +18,10 @@ FrtIndex FrtIndex::build(const FrtTree& tree) {
   idx.levels_ = tree.num_levels();
   idx.beta_ = tree.beta();
   idx.dist_by_lca_level_ = tree.distance_by_lca_level();
+  idx.edge_weight_by_level_.resize(idx.levels_);
+  for (unsigned l = 0; l < idx.levels_; ++l) {
+    idx.edge_weight_by_level_[l] = tree.edge_weight(l);
+  }
 
   idx.node_level_.resize(nodes);
   idx.wdepth_.resize(nodes);
@@ -68,7 +72,39 @@ FrtIndex FrtIndex::build(const FrtTree& tree) {
              "FrtIndex: malformed Euler tour");
 
   idx.build_sparse_table();
+  idx.build_structure_maps();
   return idx;
+}
+
+void FrtIndex::build_structure_maps() {
+  const std::size_t nodes = node_level_.size();
+  // Children CSR from the tour: position i is a child visit of position
+  // i−1 exactly when the level drops by 1 (a revisit rises by 1).  Tour
+  // order of a node's child visits equals the source tree's child order,
+  // so the CSR preserves it — the apps' flat walks fold floating-point
+  // sums in the same order as the pointer-based reference.
+  child_offset_.assign(nodes + 1, 0);
+  for (std::size_t i = 1; i < euler_node_.size(); ++i) {
+    if (euler_level_[i] + 1 == euler_level_[i - 1]) {
+      ++child_offset_[euler_node_[i - 1] + 1];
+    }
+  }
+  for (std::size_t id = 0; id < nodes; ++id) {
+    child_offset_[id + 1] += child_offset_[id];
+  }
+  child_list_.assign(euler_node_.empty() ? 0 : (euler_node_.size() - 1) / 2,
+                     0);
+  std::vector<std::uint32_t> cursor(child_offset_.begin(),
+                                    child_offset_.end() - 1);
+  for (std::size_t i = 1; i < euler_node_.size(); ++i) {
+    if (euler_level_[i] + 1 == euler_level_[i - 1]) {
+      child_list_[cursor[euler_node_[i - 1]]++] = euler_node_[i];
+    }
+  }
+  node_leaf_vertex_.assign(nodes, no_vertex());
+  for (std::size_t v = 0; v < leaf_pos_.size(); ++v) {
+    node_leaf_vertex_[euler_node_[leaf_pos_[v]]] = static_cast<Vertex>(v);
+  }
 }
 
 void FrtIndex::build_sparse_table() {
@@ -147,6 +183,24 @@ void FrtIndex::validate() const {
                  "FrtIndex: tour levels must change by exactly 1");
     }
   }
+  // The tour must be a closed DFS of a tree: every node except the first
+  // position's (the root) is entered by exactly one down-step.  ±1 level
+  // steps alone do not guarantee this, and build_structure_maps() sizes
+  // its child CSR to N−1 down-steps — a crafted file re-entering a node
+  // would overflow it.
+  {
+    std::vector<std::uint32_t> child_entries(nodes, 0);
+    for (std::size_t i = 1; i < euler_node_.size(); ++i) {
+      if (euler_level_[i] + 1 == euler_level_[i - 1]) {
+        ++child_entries[euler_node_[i]];
+      }
+    }
+    for (std::size_t id = 0; id < nodes; ++id) {
+      const std::uint32_t expected = id == euler_node_[0] ? 0 : 1;
+      PMTE_CHECK(child_entries[id] == expected,
+                 "FrtIndex: tour is not a single DFS of a tree");
+    }
+  }
   PMTE_CHECK(!leaf_pos_.empty(), "FrtIndex: no leaves");
   std::vector<bool> position_used(euler_node_.size(), false);
   for (std::size_t v = 0; v < leaf_pos_.size(); ++v) {
@@ -175,6 +229,20 @@ void FrtIndex::validate() const {
     PMTE_CHECK(dist_by_lca_level_[l] > dist_by_lca_level_[l - 1],
                "FrtIndex: LCA distance table not increasing");
   }
+  PMTE_CHECK(edge_weight_by_level_.size() == levels_,
+             "FrtIndex: edge weight table size mismatch");
+  for (unsigned l = 0; l < levels_; ++l) {
+    PMTE_CHECK(edge_weight_by_level_[l] > 0.0 &&
+                   is_finite(edge_weight_by_level_[l]),
+               "FrtIndex: bad per-level edge weight");
+    // dist_by_lca_level_ is Σ_{l'<l} 2·w_{l'} accumulated ascending, so the
+    // two persisted tables must agree exactly.
+    if (l + 1 < levels_) {
+      PMTE_CHECK(dist_by_lca_level_[l + 1] ==
+                     dist_by_lca_level_[l] + 2.0 * edge_weight_by_level_[l],
+                 "FrtIndex: edge weights inconsistent with LCA table");
+    }
+  }
   // Cross-check the two distance representations: for every node,
   // 2·(wdepth[leaf] − wdepth[node]) must equal the LCA-level table entry
   // (up to summation-order rounding — the table accumulates bottom-up,
@@ -189,6 +257,7 @@ void FrtIndex::validate() const {
   }
 }
 
+// Field order is normative — docs/FORMAT.md documents this exact layout.
 void FrtIndex::save(std::ostream& os) const {
   BinaryWriter w(os);
   w.magic(kIndexMagic);
@@ -200,6 +269,7 @@ void FrtIndex::save(std::ostream& os) const {
   w.vec_u32(euler_level_);
   w.vec_u32(leaf_pos_);
   w.vec_f64(dist_by_lca_level_);
+  w.vec_f64(edge_weight_by_level_);
 }
 
 FrtIndex FrtIndex::load(std::istream& is) {
@@ -214,8 +284,10 @@ FrtIndex FrtIndex::load(std::istream& is) {
   idx.euler_level_ = r.vec_u32();
   idx.leaf_pos_ = r.vec_u32();
   idx.dist_by_lca_level_ = r.vec_f64();
+  idx.edge_weight_by_level_ = r.vec_f64();
   idx.validate();
   idx.build_sparse_table();
+  idx.build_structure_maps();
   return idx;
 }
 

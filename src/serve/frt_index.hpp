@@ -28,18 +28,33 @@
 //                                makes distance() bit-identical to
 //                                FrtTree::distance — no re-derived
 //                                floating-point sums.
+//   edge_weight_by_level_        per-level parent-edge weight, copied
+//                                verbatim from FrtTree::edge_weight(l); the
+//                                apps' flat tree walks (buy-at-bulk flow
+//                                pricing) read it instead of per-node
+//                                parent_edge fields.
 //
 // distance() is O(1): two array reads to map leaves to tour positions, two
 // sparse-table probes, one compare, one table lookup.  No allocation, no
 // pointer chasing; the index is immutable after build, so concurrent
 // queries from any number of threads are safe.
 //
+// Beyond point queries the index exposes the flat tree *structure* so the
+// applications (src/apps/) never touch FrtTree's pointer-based nodes on
+// their query paths: euler_nodes()/euler_levels() (the tour itself),
+// children(id) (CSR adjacency derived from the tour, in the source tree's
+// child order), leaf_vertex(id), and root().  Node ids are the source
+// tree's numbering, and parents always precede children, so iterating ids
+// descending is a valid bottom-up (children-first) order.
+//
 // save()/load() persist every non-derived array through the versioned
-// binary format of serialize.hpp; the sparse table is rebuilt
-// deterministically on load, so save→load→save is byte-identical.
+// binary format of serialize.hpp (normative layout: docs/FORMAT.md); the
+// sparse table and the CSR/leaf-vertex maps are rebuilt deterministically
+// on load, so save→load→save is byte-identical.
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "src/frt/frt_tree.hpp"
@@ -87,6 +102,50 @@ class FrtIndex {
   [[nodiscard]] Weight distance_at_lca_level(unsigned lvl) const {
     return dist_by_lca_level_[lvl];
   }
+  /// The full LCA-level distance table (levels_ entries, strictly
+  /// increasing; entry 0 is 0.0).
+  [[nodiscard]] const std::vector<Weight>& distance_by_lca_level()
+      const noexcept {
+    return dist_by_lca_level_;
+  }
+
+  /// Weight of the edge from a level-`lvl` node to its parent, copied
+  /// verbatim from FrtTree::edge_weight(lvl).  The root level has no
+  /// parent edge; reading it returns the tree's value anyway (uniform-rule
+  /// extrapolation) — callers skip the root explicitly.
+  [[nodiscard]] Weight edge_weight(unsigned lvl) const {
+    return edge_weight_by_level_[lvl];
+  }
+
+  // --- Flat structure (query-path substitute for FrtTree::Node) ---------
+
+  /// Root node id (the first tour position).
+  [[nodiscard]] NodeId root() const { return euler_node_.front(); }
+
+  /// Children of `id` in the source tree's child order — a CSR view
+  /// derived from the Euler tour, no per-node heap vectors.
+  [[nodiscard]] std::span<const NodeId> children(NodeId id) const {
+    return {child_list_.data() + child_offset_[id],
+            child_offset_[id + 1] - child_offset_[id]};
+  }
+
+  /// Original graph vertex of a leaf node (no_vertex() for inner nodes).
+  [[nodiscard]] Vertex leaf_vertex(NodeId id) const {
+    return node_leaf_vertex_[id];
+  }
+
+  /// Leaf node id of a graph vertex (inverse of leaf_vertex on leaves).
+  [[nodiscard]] NodeId leaf_node(Vertex v) const {
+    return euler_node_[leaf_pos_[v]];
+  }
+
+  /// Euler tour views (tour position → node id / level).
+  [[nodiscard]] std::span<const std::uint32_t> euler_nodes() const noexcept {
+    return euler_node_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> euler_levels() const noexcept {
+    return euler_level_;
+  }
 
   /// Sparse-table probes per u ≠ v distance query (u == v costs none).
   /// bench_serve's deterministic counters are multiples of this.
@@ -106,7 +165,8 @@ class FrtIndex {
            a.node_level_ == b.node_level_ && a.wdepth_ == b.wdepth_ &&
            a.euler_node_ == b.euler_node_ &&
            a.euler_level_ == b.euler_level_ && a.leaf_pos_ == b.leaf_pos_ &&
-           a.dist_by_lca_level_ == b.dist_by_lca_level_;
+           a.dist_by_lca_level_ == b.dist_by_lca_level_ &&
+           a.edge_weight_by_level_ == b.edge_weight_by_level_;
   }
 
  private:
@@ -116,6 +176,8 @@ class FrtIndex {
 
   /// (Re)derive the sparse table from the Euler arrays.
   void build_sparse_table();
+  /// (Re)derive the children CSR and leaf-vertex map from the tour.
+  void build_structure_maps();
 
   unsigned levels_ = 1;
   double beta_ = 1.0;
@@ -125,11 +187,17 @@ class FrtIndex {
   std::vector<std::uint32_t> euler_level_;       // tour position → level
   std::vector<std::uint32_t> leaf_pos_;          // vertex → tour position
   std::vector<Weight> dist_by_lca_level_;        // LCA level → dist_T
+  std::vector<Weight> edge_weight_by_level_;     // level → parent-edge weight
   // Derived, rebuilt on load: row j holds, per position i, the tour
   // position of the max level in [i, i + 2^j); row-major, stride = tour
   // length.
   std::vector<std::uint32_t> sparse_;
   unsigned sparse_rows_ = 0;
+  // Derived, rebuilt on load: children in CSR layout (source child order)
+  // and the leaf-node → graph-vertex inverse of leaf_pos_.
+  std::vector<std::uint32_t> child_offset_;      // node → first child slot
+  std::vector<NodeId> child_list_;               // concatenated children
+  std::vector<Vertex> node_leaf_vertex_;         // node → vertex (leaves)
 };
 
 }  // namespace pmte::serve

@@ -1,0 +1,45 @@
+#include "src/serve/hot_pair_cache.hpp"
+
+#include <bit>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte::serve {
+
+HotPairCache::HotPairCache(std::size_t capacity) {
+  PMTE_CHECK(capacity >= 1, "HotPairCache: capacity must be positive");
+  PMTE_CHECK(capacity <= (std::size_t{1} << 30),
+             "HotPairCache: implausible capacity");
+  const std::size_t rounded = std::bit_ceil(std::max<std::size_t>(capacity, 2));
+  slots_.assign(rounded, Slot{});
+  mask_ = rounded - 1;
+}
+
+void HotPairCache::clear() {
+  for (auto& s : slots_) s = Slot{};
+  stats_ = HotPairCacheStats{};
+}
+
+HotPairCache::Outcome HotPairCache::probe(std::uint64_t key,
+                                          std::uint32_t* slot) {
+  const std::uint32_t s = slot_of(key);
+  *slot = s;
+  ++stats_.lookups;
+  Slot& sl = slots_[s];
+  if (!sl.valid) {
+    sl.valid = true;
+    sl.key = key;
+    ++stats_.misses;
+    ++stats_.admissions;
+    return Outcome::fill;
+  }
+  if (sl.key == key) {
+    ++stats_.hits;
+    return Outcome::hit;
+  }
+  ++stats_.misses;
+  ++stats_.conflicts;
+  return Outcome::bypass;
+}
+
+}  // namespace pmte::serve

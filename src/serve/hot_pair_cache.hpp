@@ -1,0 +1,124 @@
+#pragma once
+// Opt-in hot-pair cache for ensemble serving.
+//
+// Zipf-shaped traffic concentrates on a small hot set of vertex pairs
+// (src/serve/workloads.hpp); recomputing the k-tree aggregate for the same
+// pair thousands of times per batch is pure waste.  HotPairCache is a
+// fixed-capacity, direct-mapped cache over *served aggregates*:
+//
+//   Layout      — `capacity` slots (rounded up to a power of two), each
+//                 holding one (key, value) entry.  A pair maps to exactly
+//                 one slot via a splitmix64 hash of its normalised key
+//                 (min(u,v), max(u,v), salt) — no probing chains, so a
+//                 lookup is one array read.
+//   Admission   — deterministic first-touch: an empty slot is claimed by
+//                 the first pair (in batch order) that hashes to it; a
+//                 later pair hashing to an occupied slot with a different
+//                 key bypasses the cache (counted as a conflict) and does
+//                 NOT evict.  Under Zipf traffic the hot pairs appear
+//                 first with overwhelming probability, so first-touch
+//                 keeps them pinned; under uniform traffic the cache
+//                 degrades to a no-op plus counters, never to wrong
+//                 answers.
+//   Determinism — admission decisions happen in a serial classification
+//                 pass over the batch (FrtEnsemble::query_batch), so the
+//                 cache contents, the hit/miss/conflict counters, and the
+//                 served values are pure functions of the query sequence —
+//                 independent of thread count.  Cached values are the
+//                 exact doubles the aggregate computed once, so serving
+//                 with the cache on is bit-identical to serving with it
+//                 off (pinned by test_serve).
+//
+// The cache is external state owned by the caller (FrtEnsemble stays
+// immutable and shareable across threads); pass one cache per logical
+// query stream.  It is NOT internally synchronised — one batch at a time.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.hpp"
+#include "src/util/types.hpp"
+
+namespace pmte::serve {
+
+/// Cumulative logical counters (deterministic; see header comment).
+struct HotPairCacheStats {
+  std::uint64_t lookups = 0;     ///< cacheable (u ≠ v) probes
+  std::uint64_t hits = 0;        ///< served from a slot
+  std::uint64_t misses = 0;      ///< computed (fills + conflicts)
+  std::uint64_t admissions = 0;  ///< slots claimed (first touch)
+  std::uint64_t conflicts = 0;   ///< bypassed: slot owned by another pair
+};
+
+class HotPairCache {
+ public:
+  /// What a probe decided; `fill` means the caller must compute the value
+  /// and store it with set_value() before anyone reads the slot.
+  enum class Outcome : unsigned char { hit, fill, bypass };
+
+  /// `capacity` is rounded up to a power of two (minimum 2 slots).
+  explicit HotPairCache(std::size_t capacity = 1 << 16);
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] const HotPairCacheStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Drop all entries and counters (capacity retained).
+  void clear();
+
+  /// Normalised cache key of an unordered pair; `salt` separates logical
+  /// namespaces sharing one cache (FrtEnsemble folds the aggregation
+  /// policy, its master seed, and the graph fingerprint in, so entries
+  /// can never leak across ensembles).  Requires u ≠ v.
+  [[nodiscard]] static std::uint64_t pair_key(Vertex u, Vertex v,
+                                              std::uint64_t salt) noexcept {
+    if (u > v) {
+      const Vertex t = u;
+      u = v;
+      v = t;
+    }
+    std::uint64_t s = (static_cast<std::uint64_t>(u) << 32) | v;
+    s ^= salt * 0x9e3779b97f4a7c15ULL;
+    return s;
+  }
+
+  /// Probe the slot of `key` (serial classification pass only).  Returns
+  /// the outcome and writes the slot id to `slot`; updates the counters.
+  /// A `fill` outcome claims the slot immediately — the caller MUST store
+  /// the computed value with set_value() before the batch ends (and must
+  /// therefore validate its inputs before probing; FrtEnsemble does), or
+  /// later batches would hit a claimed slot holding a default value.
+  Outcome probe(std::uint64_t key, std::uint32_t* slot);
+
+  /// Value of a slot previously decided `hit`, or filled this batch.
+  [[nodiscard]] Weight value(std::uint32_t slot) const noexcept {
+    return slots_[slot].value;
+  }
+
+  /// Store the computed aggregate for a slot decided `fill`.  Safe to call
+  /// from parallel code: each fill owns a distinct slot.
+  void set_value(std::uint32_t slot, Weight v) noexcept {
+    slots_[slot].value = v;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    Weight value = 0.0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::uint32_t slot_of(std::uint64_t key) const noexcept {
+    std::uint64_t s = key;
+    return static_cast<std::uint32_t>(splitmix64(s) & mask_);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  HotPairCacheStats stats_;
+};
+
+}  // namespace pmte::serve

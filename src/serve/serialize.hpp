@@ -9,6 +9,10 @@
 // files from a machine of the opposite endianness instead of silently
 // mis-reading them.  Bumping kFormatVersion invalidates old files — the
 // reader refuses anything it does not understand rather than guessing.
+//
+// The normative byte-level specification (field order, rejection rules,
+// version history) lives in docs/FORMAT.md; keep the two in sync when
+// changing anything here or in FrtIndex/FrtEnsemble::save.
 
 #include <cstdint>
 #include <iosfwd>
@@ -19,7 +23,13 @@
 namespace pmte::serve {
 
 /// Format version shared by all serving-layer artefacts (index, ensemble).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// History (docs/FORMAT.md):
+///   1 — initial layout (PR 4).
+///   2 — FrtIndex grew the per-level parent-edge-weight table
+///       (edge_weight_by_level, appended after dist_by_lca_level) so the
+///       apps' flat tree walks never consult FrtTree.  v1 files are
+///       refused, not migrated.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Endianness probe written after each magic; reads back differently when
 /// the producing machine's byte order does not match.

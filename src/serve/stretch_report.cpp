@@ -1,0 +1,78 @@
+#include "src/serve/stretch_report.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/graph/shortest_paths.hpp"
+#include "src/parallel/parallel.hpp"
+#include "src/util/assertions.hpp"
+
+namespace pmte::serve {
+
+StretchQuality measure_stretch_quality(const Graph& g,
+                                       const FrtEnsemble& ensemble,
+                                       AggregatePolicy policy) {
+  const Vertex n = g.num_vertices();
+  PMTE_CHECK(ensemble.num_vertices() == n,
+             "stretch report: ensemble/graph vertex count mismatch");
+
+  // One row per source u: exact Dijkstra distances, served batch over the
+  // pairs (u, v > u), and serially-accumulated row statistics.  Rows are
+  // independent (parallel); the cross-row fold below is serial and in
+  // ascending u, so every sum has a fixed accumulation order.
+  struct Row {
+    double sum_exact = 0.0;
+    double sum_served = 0.0;
+    double sum_ratio = 0.0;
+    double max_ratio = 0.0;
+    double min_ratio = inf_weight();
+    std::size_t pairs = 0;
+  };
+  std::vector<Row> rows(n);
+  parallel_for(n, [&](std::size_t ui) {
+    const auto u = static_cast<Vertex>(ui);
+    const auto sp = dijkstra(g, u);
+    std::vector<std::pair<Vertex, Vertex>> pairs;
+    std::vector<Vertex> targets;
+    pairs.reserve(n - u);
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (!is_finite(sp.dist[v]) || sp.dist[v] <= 0.0) continue;
+      pairs.emplace_back(u, v);
+      targets.push_back(v);
+    }
+    std::vector<Weight> served;
+    (void)ensemble.query_batch(pairs, policy, served);
+    Row& r = rows[ui];
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const double exact = sp.dist[targets[i]];
+      const double ratio = served[i] / exact;
+      r.sum_exact += exact;
+      r.sum_served += served[i];
+      r.sum_ratio += ratio;
+      r.max_ratio = std::max(r.max_ratio, ratio);
+      r.min_ratio = std::min(r.min_ratio, ratio);
+      ++r.pairs;
+    }
+  }, /*grain=*/1);
+
+  StretchQuality q;
+  double sum_ratio = 0.0;
+  double min_ratio = inf_weight();
+  for (const Row& r : rows) {
+    q.pairs += r.pairs;
+    q.sum_exact += r.sum_exact;
+    q.sum_served += r.sum_served;
+    sum_ratio += r.sum_ratio;
+    q.max_stretch = std::max(q.max_stretch, r.max_ratio);
+    min_ratio = std::min(min_ratio, r.min_ratio);
+  }
+  if (q.pairs > 0) {
+    q.weighted_stretch = q.sum_served / q.sum_exact;
+    q.mean_stretch = sum_ratio / static_cast<double>(q.pairs);
+    q.min_stretch = min_ratio;
+  }
+  return q;
+}
+
+}  // namespace pmte::serve

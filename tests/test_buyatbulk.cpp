@@ -5,6 +5,7 @@
 
 #include "src/apps/buyatbulk.hpp"
 #include "src/graph/generators.hpp"
+#include "tests/support/fixtures.hpp"
 
 namespace pmte {
 namespace {
@@ -117,6 +118,48 @@ TEST(BuyAtBulkBasics, RejectsEmptyDemands) {
   Rng rng(3);
   const auto g = make_path(4);
   EXPECT_THROW((void)buy_at_bulk(g, {}, kCables, {}, rng), std::logic_error);
+}
+
+// --- Flat serving-index backend (differential pins) -----------------------
+
+TEST(BuyAtBulkFlat, FlatRoutingBitIdenticalToPointerClimbOnCorpus) {
+  // The tentpole contract: routing over the flat FrtIndex (O(1) LCA, CSR
+  // flow fold) produces the exact cost doubles and loaded-edge counts of
+  // the parent-climbing reference, across the 50-graph corpus.
+  const auto corpus = test::small_graph_corpus(50, 7001);
+  for (const auto& c : corpus) {
+    Rng drng(c.seed + 7);
+    std::vector<Demand> demands;
+    while (demands.size() < 12) {
+      const auto s = static_cast<Vertex>(drng.below(c.graph.num_vertices()));
+      const auto t = static_cast<Vertex>(drng.below(c.graph.num_vertices()));
+      if (s == t) continue;
+      demands.push_back(Demand{s, t, std::floor(drng.uniform(1.0, 5.0))});
+    }
+    BabOptions flat_opts, tree_opts;
+    flat_opts.use_flat_index = true;
+    tree_opts.use_flat_index = false;
+    Rng r1(c.seed), r2(c.seed);
+    const auto a = buy_at_bulk(c.graph, demands, kCables, flat_opts, r1);
+    const auto b = buy_at_bulk(c.graph, demands, kCables, tree_opts, r2);
+    EXPECT_EQ(a.cost, b.cost) << c.name;
+    EXPECT_EQ(a.tree_cost, b.tree_cost) << c.name;
+    EXPECT_EQ(a.direct_cost, b.direct_cost) << c.name;
+    EXPECT_EQ(a.lower_bound, b.lower_bound) << c.name;
+    EXPECT_EQ(a.loaded_tree_edges, b.loaded_tree_edges) << c.name;
+    EXPECT_EQ(a.dijkstra_runs, b.dijkstra_runs) << c.name;
+    // Counters: the flat path replaces every pointer chase with O(1)
+    // probes and flat reads.
+    EXPECT_EQ(a.counters.tree_node_visits, 0U) << c.name;
+    EXPECT_GT(b.counters.tree_node_visits, 0U) << c.name;
+    EXPECT_LT(a.counters.tree_node_visits, b.counters.tree_node_visits)
+        << c.name << " flat path must beat the pointer-climbing baseline";
+    // 2 RMQ probes per routed (s ≠ t) demand, nothing for the flow walk.
+    std::size_t routed = 0;
+    for (const auto& d : demands) routed += d.s != d.t ? 1 : 0;
+    EXPECT_EQ(a.counters.lca_probes, 2 * routed) << c.name;
+    EXPECT_EQ(b.counters.lca_probes, 0U) << c.name;
+  }
 }
 
 }  // namespace

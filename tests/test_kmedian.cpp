@@ -10,6 +10,8 @@
 #include "src/frt/pipelines.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/shortest_paths.hpp"
+#include "src/serve/frt_index.hpp"
+#include "tests/support/fixtures.hpp"
 
 namespace pmte {
 namespace {
@@ -129,6 +131,60 @@ TEST(KMedian, RejectsBadK) {
   Rng rng(5);
   EXPECT_THROW((void)kmedian_frt(g, 0, {}, rng), std::logic_error);
   EXPECT_THROW((void)kmedian_frt(g, 9, {}, rng), std::logic_error);
+}
+
+// --- Flat serving-index backend (differential pins) -----------------------
+
+TEST(KMedianFlat, IndexDpBitIdenticalToTreeDpOnCorpus) {
+  // The tentpole contract: solving the HST DP over the flat FrtIndex
+  // yields the exact centers and the exact cost doubles of the
+  // pointer-based reference, on every corpus graph and several k.
+  const auto corpus = test::small_graph_corpus(50, 7001);
+  for (const auto& c : corpus) {
+    Rng rng(c.seed);
+    const auto s = sample_frt_direct(c.graph, rng);
+    const auto idx = serve::FrtIndex::build(s.tree);
+    std::vector<double> weight(c.graph.num_vertices());
+    for (auto& w : weight) w = std::floor(rng.uniform(0.0, 5.0));
+    for (const std::size_t k : {1U, 2U, 4U}) {
+      const auto ref = solve_kmedian_on_tree(s.tree, weight, k);
+      const auto flat = solve_kmedian_on_index(idx, weight, k);
+      EXPECT_EQ(flat.cost, ref.cost) << c.name << " k=" << k;
+      EXPECT_EQ(flat.centers, ref.centers) << c.name << " k=" << k;
+      // The flat path never touches a FrtTree::Node; the reference walks
+      // one per condensed-traversal step.  Both walk the same nodes.
+      EXPECT_EQ(flat.counters.tree_node_visits, 0U) << c.name;
+      EXPECT_GT(ref.counters.tree_node_visits, 0U) << c.name;
+      EXPECT_EQ(flat.counters.tree_lookups, ref.counters.tree_node_visits)
+          << c.name;
+      EXPECT_LT(flat.counters.tree_node_visits,
+                ref.counters.tree_node_visits)
+          << c.name << " flat path must beat the pointer-climbing baseline";
+    }
+  }
+}
+
+TEST(KMedianFlat, EndToEndPipelineIdenticalEitherBackend) {
+  // kmedian_frt consumes randomness identically on both paths, so the
+  // full pipeline (sampling, weights, DP, evaluation) returns the same
+  // solution with use_flat_index on or off.
+  Rng grng(71);
+  const auto g = make_grid(8, 8, {1.0, 2.0}, grng);
+  for (const std::uint64_t seed : {901ULL, 902ULL}) {
+    KMedianOptions flat_opts, tree_opts;
+    flat_opts.trees = tree_opts.trees = 3;
+    flat_opts.use_flat_index = true;
+    tree_opts.use_flat_index = false;
+    Rng r1(seed), r2(seed);
+    const auto a = kmedian_frt(g, 6, flat_opts, r1);
+    const auto b = kmedian_frt(g, 6, tree_opts, r2);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.tree_cost, b.tree_cost);
+    EXPECT_EQ(a.centers, b.centers);
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.counters.tree_node_visits, 0U);
+    EXPECT_GT(b.counters.tree_node_visits, 0U);
+  }
 }
 
 }  // namespace

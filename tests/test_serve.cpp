@@ -13,8 +13,12 @@
 #include <vector>
 
 #include "src/frt/pipelines.hpp"
+#include "src/graph/shortest_paths.hpp"
 #include "src/serve/frt_ensemble.hpp"
 #include "src/serve/frt_index.hpp"
+#include "src/serve/hot_pair_cache.hpp"
+#include "src/serve/serialize.hpp"
+#include "src/serve/stretch_report.hpp"
 #include "src/serve/workloads.hpp"
 #include "tests/support/fixtures.hpp"
 
@@ -176,6 +180,79 @@ TEST(FrtIndex, LoadRejectsGarbage) {
   std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
   cut << bytes.substr(0, bytes.size() / 2);
   EXPECT_THROW((void)serve::FrtIndex::load(cut), std::logic_error);
+}
+
+TEST(FrtIndex, FlatStructureMatchesTree) {
+  // The CSR children / leaf maps / per-level edge weights are the apps'
+  // substitute for FrtTree::Node — they must mirror the tree exactly,
+  // including child order (the apps' floating-point folds depend on it).
+  const auto corpus = test::small_graph_corpus(12, kCorpusSeed + 4);
+  for (const auto& c : corpus) {
+    Rng rng(c.seed);
+    const auto s = sample_frt_direct(c.graph, rng);
+    const auto idx = serve::FrtIndex::build(s.tree);
+    EXPECT_EQ(idx.root(), s.tree.root()) << c.name;
+    for (FrtTree::NodeId id = 0; id < s.tree.num_nodes(); ++id) {
+      const auto& nd = s.tree.node(id);
+      const auto kids = idx.children(id);
+      ASSERT_EQ(kids.size(), nd.children.size()) << c.name << " node " << id;
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        EXPECT_EQ(kids[i], nd.children[i]) << c.name << " node " << id;
+      }
+      EXPECT_EQ(idx.leaf_vertex(id), nd.leaf_vertex) << c.name;
+      if (nd.parent != FrtTree::invalid_node) {
+        EXPECT_EQ(idx.edge_weight(nd.level), nd.parent_edge)
+            << c.name << " node " << id;
+      }
+    }
+    for (Vertex v = 0; v < c.graph.num_vertices(); ++v) {
+      EXPECT_EQ(idx.leaf_node(v), s.tree.leaf_of(v)) << c.name;
+    }
+    for (unsigned l = 0; l + 1 < idx.num_levels(); ++l) {
+      EXPECT_EQ(idx.edge_weight(l), s.tree.edge_weight(l)) << c.name;
+    }
+  }
+}
+
+TEST(FrtIndex, LoadRejectsUnsupportedFormatVersion) {
+  // The reader refuses versions it does not understand (v1 files predate
+  // the per-level edge-weight table and would misparse as v2).
+  const auto g = test::support_graph("gnm", 24, 33);
+  Rng rng(33);
+  const auto s = sample_frt_direct(g, rng);
+  const auto idx = serve::FrtIndex::build(s.tree);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  idx.save(buf);
+  std::string bytes = buf.str();
+  // Header: magic(8) + endian probe(4) + version(4).
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 12, sizeof(version));
+  ASSERT_EQ(version, serve::kFormatVersion) << "layout drifted; fix offset";
+  const std::uint32_t old_version = 1;
+  std::memcpy(bytes.data() + 12, &old_version, sizeof(old_version));
+  std::stringstream stale(std::ios::in | std::ios::out | std::ios::binary);
+  stale << bytes;
+  EXPECT_THROW((void)serve::FrtIndex::load(stale), std::logic_error);
+}
+
+TEST(FrtIndex, LoadRejectsTourThatIsNotASingleDfs) {
+  // A crafted tour with ±1 level steps that re-enters a node as a child
+  // twice (levels [2,1,0,1,0] over nodes [0,1,2,1,2]) satisfies the naive
+  // shape checks but has 3 down-steps where a 3-node tree has 2 — before
+  // the closed-DFS validation this overflowed the child CSR on load.
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  serve::BinaryWriter w(buf);
+  w.magic(serve::kIndexMagic);
+  w.u32(3);                      // levels
+  w.f64(1.5);                    // beta
+  w.vec_u32({2, 1, 0});          // node_level
+  w.vec_f64({0.0, 2.0, 3.0});    // wdepth (root, +w1=2, +w0=1)
+  w.vec_u32({0, 1, 2, 1, 2});    // euler_node — node 2 entered twice
+  w.vec_u32({2, 1, 0, 1, 0});    // euler_level — adjacent steps are ±1
+  w.vec_u32({2});                // leaf_pos → position 2, level 0
+  w.vec_f64({0.0, 2.0, 6.0});    // dist_by_lca_level = [0, 2w0, 2w0+2w1]
+  w.vec_f64({1.0, 2.0, 4.0});    // edge_weight_by_level
+  EXPECT_THROW((void)serve::FrtIndex::load(buf), std::logic_error);
 }
 
 TEST(FrtIndex, LoadRejectsAliasedLeafPositions) {
@@ -438,6 +515,252 @@ TEST(FrtEnsemble, LoadRejectsWrongArtefactKind) {
   std::stringstream ibuf(std::ios::in | std::ios::out | std::ios::binary);
   e.index(0).save(ibuf);
   EXPECT_THROW((void)serve::FrtEnsemble::load(ibuf), std::logic_error);
+}
+
+// --- Hot-pair cache -------------------------------------------------------
+
+TEST(HotPairCache, ServedValuesBitIdenticalCacheOnAndOff) {
+  const auto corpus = test::serve_graph_corpus(4, 920);
+  for (const auto& c : corpus) {
+    const auto e =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(5));
+    for (const auto kind :
+         {serve::WorkloadKind::zipf, serve::WorkloadKind::uniform}) {
+      Rng wrng(c.seed + 31);
+      serve::WorkloadOptions wopts;
+      wopts.pairs = 3000;
+      const auto pairs = serve::make_workload(c.graph, kind, wopts, wrng);
+      for (const auto policy :
+           {serve::AggregatePolicy::min, serve::AggregatePolicy::median}) {
+        std::vector<Weight> plain, cached;
+        const auto ref = e.query_batch(pairs, policy, plain);
+        serve::HotPairCache cache(1024);
+        const auto st = e.query_batch(pairs, policy, cached, &cache);
+        EXPECT_EQ(cached, plain)
+            << c.name << " " << serve::workload_name(kind);
+        EXPECT_EQ(st.pairs, ref.pairs);
+        EXPECT_EQ(st.cache_hits + st.cache_misses, cache.stats().lookups);
+        // The cache only ever removes lookups, never adds them.
+        EXPECT_LE(st.tree_lookups, ref.tree_lookups) << c.name;
+        EXPECT_LE(st.lca_probes, ref.lca_probes) << c.name;
+        // A second pass over the same pairs serves every cacheable pair
+        // from the warm cache (capacity permitting: conflicts stay
+        // conflicts) — values still bit-identical.
+        std::vector<Weight> warm;
+        const auto st2 = e.query_batch(pairs, policy, warm, &cache);
+        EXPECT_EQ(warm, plain) << c.name;
+        EXPECT_GE(st2.cache_hits, st.cache_hits) << c.name;
+        EXPECT_LE(st2.tree_lookups, st.tree_lookups) << c.name;
+      }
+    }
+  }
+}
+
+TEST(HotPairCache, CountersAndValuesDeterministicAcrossThreads) {
+  // Satellite requirement: hit/miss counters and served values are
+  // bit-identical at 1/2/8 threads, cache on and off, over the corpus.
+  const auto corpus = test::serve_graph_corpus(3, 921);
+  const int saved_threads = num_threads();
+  for (const auto& c : corpus) {
+    const auto e =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(4));
+    Rng wrng(c.seed + 77);
+    serve::WorkloadOptions wopts;
+    wopts.pairs = 4000;
+    const auto pairs = serve::make_workload(
+        c.graph, serve::WorkloadKind::zipf, wopts, wrng);
+    for (const auto policy :
+         {serve::AggregatePolicy::min, serve::AggregatePolicy::median}) {
+      // Reference at the ambient thread count.
+      serve::HotPairCache ref_cache(512);
+      std::vector<Weight> ref_out;
+      const auto ref = e.query_batch(pairs, policy, ref_out, &ref_cache);
+      std::vector<Weight> ref_plain;
+      const auto ref_plain_stats = e.query_batch(pairs, policy, ref_plain);
+      for (const int threads : {1, 2, 8}) {
+        set_num_threads(threads);
+        serve::HotPairCache cache(512);
+        std::vector<Weight> out;
+        const auto st = e.query_batch(pairs, policy, out, &cache);
+        EXPECT_EQ(out, ref_out) << c.name << " at " << threads << " threads";
+        EXPECT_EQ(st.cache_hits, ref.cache_hits) << c.name;
+        EXPECT_EQ(st.cache_misses, ref.cache_misses) << c.name;
+        EXPECT_EQ(st.tree_lookups, ref.tree_lookups) << c.name;
+        EXPECT_EQ(st.lca_probes, ref.lca_probes) << c.name;
+        EXPECT_EQ(cache.stats().hits, ref_cache.stats().hits) << c.name;
+        EXPECT_EQ(cache.stats().admissions, ref_cache.stats().admissions);
+        EXPECT_EQ(cache.stats().conflicts, ref_cache.stats().conflicts);
+        // Cache off at this thread count too.
+        std::vector<Weight> plain;
+        const auto pst = e.query_batch(pairs, policy, plain);
+        EXPECT_EQ(plain, ref_plain) << c.name;
+        EXPECT_EQ(pst.tree_lookups, ref_plain_stats.tree_lookups);
+        EXPECT_EQ(out, plain) << c.name << " cache on vs off";
+      }
+      set_num_threads(saved_threads);
+    }
+  }
+}
+
+TEST(HotPairCache, FirstTouchAdmissionAndConflicts) {
+  // Two pairs colliding in a 2-slot cache: the first keeps the slot, the
+  // second bypasses forever (deterministic first-touch, no eviction).
+  const auto g = test::support_graph("gnm", 64, 35);
+  const auto e = serve::FrtEnsemble::build(g, 35, small_ensemble_options(3));
+  serve::HotPairCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2U);
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  for (Vertex v = 1; v < 40; ++v) pairs.emplace_back(0, v);
+  std::vector<Weight> out, plain;
+  const auto st =
+      e.query_batch(pairs, serve::AggregatePolicy::min, out, &cache);
+  (void)e.query_batch(pairs, serve::AggregatePolicy::min, plain);
+  EXPECT_EQ(out, plain);
+  // 39 distinct pairs into 2 slots: 2 admissions, the rest conflicts.
+  EXPECT_EQ(cache.stats().admissions, 2U);
+  EXPECT_EQ(cache.stats().conflicts, pairs.size() - 2);
+  EXPECT_EQ(st.cache_hits, 0U);
+  // Replay: the two admitted pairs hit, everything else still conflicts.
+  std::vector<Weight> again;
+  const auto st2 =
+      e.query_batch(pairs, serve::AggregatePolicy::min, again, &cache);
+  EXPECT_EQ(again, plain);
+  EXPECT_EQ(st2.cache_hits, 2U);
+  // clear() resets contents and counters.
+  cache.clear();
+  EXPECT_EQ(cache.stats().lookups, 0U);
+  std::vector<Weight> fresh;
+  const auto st3 =
+      e.query_batch(pairs, serve::AggregatePolicy::min, fresh, &cache);
+  EXPECT_EQ(fresh, plain);
+  EXPECT_EQ(st3.cache_hits, 0U);
+}
+
+TEST(HotPairCache, ReuseAcrossEnsemblesCannotServeStaleDistances) {
+  // The batch salt folds in the ensemble's seed + graph fingerprint, so a
+  // cache warmed by ensemble A can only miss (stale slots conflict) when
+  // handed to ensemble B — it must never return A's doubles for B.
+  const auto g = test::support_graph("gnm", 96, 44);
+  const auto a = serve::FrtEnsemble::build(g, 44, small_ensemble_options(3));
+  const auto b = serve::FrtEnsemble::build(g, 45, small_ensemble_options(3));
+  Rng wrng(91);
+  serve::WorkloadOptions wopts;
+  wopts.pairs = 2000;
+  const auto pairs =
+      serve::make_workload(g, serve::WorkloadKind::zipf, wopts, wrng);
+  serve::HotPairCache cache(4096);
+  std::vector<Weight> from_a, from_b, b_plain;
+  (void)a.query_batch(pairs, serve::AggregatePolicy::min, from_a, &cache);
+  // B may hit its *own* same-batch fills (Zipf repeats pairs), but every
+  // served value must be B's — bit-identical to the uncached run.
+  (void)b.query_batch(pairs, serve::AggregatePolicy::min, from_b, &cache);
+  (void)b.query_batch(pairs, serve::AggregatePolicy::min, b_plain);
+  EXPECT_EQ(from_b, b_plain);
+  EXPECT_NE(from_a, from_b) << "distinct seeds should serve distinct values";
+}
+
+TEST(HotPairCache, KeyNormalisesPairOrder) {
+  EXPECT_EQ(serve::HotPairCache::pair_key(3, 9, 0),
+            serve::HotPairCache::pair_key(9, 3, 0));
+  EXPECT_NE(serve::HotPairCache::pair_key(3, 9, 0),
+            serve::HotPairCache::pair_key(3, 8, 0));
+  // Distinct salts (aggregation policies) never share entries.
+  EXPECT_NE(serve::HotPairCache::pair_key(3, 9, 0),
+            serve::HotPairCache::pair_key(3, 9, 1));
+}
+
+// --- Stretch report -------------------------------------------------------
+
+TEST(StretchReport, MatchesNaiveAllPairsEvaluation) {
+  const auto corpus = test::serve_graph_corpus(3, 922);
+  for (const auto& c : corpus) {
+    const auto e =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(4));
+    for (const auto policy :
+         {serve::AggregatePolicy::min, serve::AggregatePolicy::median}) {
+      const auto q = serve::measure_stretch_quality(c.graph, e, policy);
+      // Naive reference: all pairs, exact Dijkstra, direct queries.
+      const Vertex n = c.graph.num_vertices();
+      double sum_exact = 0.0, sum_served = 0.0, sum_ratio = 0.0;
+      double max_ratio = 0.0, min_ratio = inf_weight();
+      std::size_t pairs = 0;
+      for (Vertex u = 0; u < n; ++u) {
+        const auto sp = dijkstra(c.graph, u);
+        for (Vertex v = u + 1; v < n; ++v) {
+          if (!is_finite(sp.dist[v]) || sp.dist[v] <= 0.0) continue;
+          const double served = e.query(u, v, policy);
+          const double ratio = served / sp.dist[v];
+          sum_exact += sp.dist[v];
+          sum_served += served;
+          sum_ratio += ratio;
+          max_ratio = std::max(max_ratio, ratio);
+          min_ratio = std::min(min_ratio, ratio);
+          ++pairs;
+        }
+      }
+      ASSERT_GT(pairs, 0U) << c.name;
+      EXPECT_EQ(q.pairs, pairs) << c.name;
+      // max/min are accumulation-order independent: exact equality.  The
+      // sums fold per-row then across rows, so compare to tight relative
+      // tolerance.
+      EXPECT_EQ(q.max_stretch, max_ratio) << c.name;
+      EXPECT_EQ(q.min_stretch, min_ratio) << c.name;
+      EXPECT_NEAR(q.sum_exact, sum_exact, 1e-9 * sum_exact) << c.name;
+      EXPECT_NEAR(q.sum_served, sum_served, 1e-9 * sum_served) << c.name;
+      EXPECT_NEAR(q.weighted_stretch, sum_served / sum_exact,
+                  1e-12 * (sum_served / sum_exact))
+          << c.name;
+      EXPECT_NEAR(q.mean_stretch,
+                  sum_ratio / static_cast<double>(pairs), 1e-9)
+          << c.name;
+      // Dominating policies serve dominating values.
+      EXPECT_GE(q.min_stretch, 1.0) << c.name;
+      EXPECT_GE(q.weighted_stretch, 1.0) << c.name;
+      EXPECT_LE(q.weighted_stretch, q.max_stretch) << c.name;
+    }
+  }
+}
+
+TEST(StretchReport, DeterministicAcrossThreads) {
+  const auto corpus = test::serve_graph_corpus(2, 923);
+  const int saved_threads = num_threads();
+  for (const auto& c : corpus) {
+    const auto e =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(3));
+    const auto ref = serve::measure_stretch_quality(
+        c.graph, e, serve::AggregatePolicy::min);
+    for (const int threads : {1, 2, 8}) {
+      set_num_threads(threads);
+      const auto q = serve::measure_stretch_quality(
+          c.graph, e, serve::AggregatePolicy::min);
+      EXPECT_EQ(q.pairs, ref.pairs) << c.name;
+      EXPECT_EQ(q.weighted_stretch, ref.weighted_stretch) << c.name;
+      EXPECT_EQ(q.mean_stretch, ref.mean_stretch) << c.name;
+      EXPECT_EQ(q.max_stretch, ref.max_stretch) << c.name;
+      EXPECT_EQ(q.min_stretch, ref.min_stretch) << c.name;
+      EXPECT_EQ(q.sum_exact, ref.sum_exact) << c.name;
+      EXPECT_EQ(q.sum_served, ref.sum_served) << c.name;
+    }
+    set_num_threads(saved_threads);
+  }
+}
+
+TEST(StretchReport, MinPolicyNeverWorseThanSingleTree) {
+  // min over k trees can only improve on the first tree alone — both the
+  // weighted and the max stretch must be ≤ the 1-tree ensemble's.
+  const auto corpus = test::serve_graph_corpus(2, 924);
+  for (const auto& c : corpus) {
+    const auto big =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(6));
+    const auto one =
+        serve::FrtEnsemble::build(c.graph, c.seed, small_ensemble_options(1));
+    const auto qb = serve::measure_stretch_quality(
+        c.graph, big, serve::AggregatePolicy::min);
+    const auto q1 = serve::measure_stretch_quality(
+        c.graph, one, serve::AggregatePolicy::min);
+    EXPECT_LE(qb.weighted_stretch, q1.weighted_stretch) << c.name;
+    EXPECT_LE(qb.max_stretch, q1.max_stretch) << c.name;
+  }
 }
 
 // --- Workloads & seeding --------------------------------------------------

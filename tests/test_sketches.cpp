@@ -4,8 +4,11 @@
 #include <cmath>
 
 #include "src/apps/distance_sketches.hpp"
+#include "src/frt/pipelines.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/shortest_paths.hpp"
+#include "src/serve/workloads.hpp"
+#include "tests/support/fixtures.hpp"
 
 namespace pmte {
 namespace {
@@ -92,6 +95,114 @@ TEST(Sketches, RejectsBadInput) {
   const auto sk = DistanceSketches::build(g, 1, rng);
   EXPECT_THROW((void)sk.query(0, 9), std::logic_error);
   EXPECT_THROW((void)DistanceSketches::from_lists({}, 5), std::logic_error);
+}
+
+// --- Ensemble-served sketches (the serving-layer rebase) ------------------
+
+TEST(EnsembleSketches, BitIdenticalToFoldingFrtTreeDistances) {
+  // The sketch's answers are served through flat indices; they must equal
+  // — bit for bit — the min over FrtTree::distance of the same k trees
+  // (re-sampled here with the ensemble's split-seed scheme).
+  const auto corpus = test::small_graph_corpus(50, 7001);
+  for (const auto& c : corpus) {
+    const std::size_t k = 3;
+    serve::EnsembleOptions opts;
+    opts.pipeline = serve::EnsemblePipeline::direct;
+    const auto sk = EnsembleSketches::build(c.graph, k, c.seed, opts);
+    std::vector<FrtTree> trees;
+    for (std::size_t t = 0; t < k; ++t) {
+      Rng rng(split_seed(c.seed, 1 + t));
+      trees.push_back(sample_frt_direct(c.graph, rng).tree);
+    }
+    const Vertex n = c.graph.num_vertices();
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u; v < n; ++v) {
+        Weight ref = inf_weight();
+        for (const auto& t : trees) ref = std::min(ref, t.distance(u, v));
+        EXPECT_EQ(sk.query(u, v), ref)
+            << c.name << " pair " << u << "-" << v;
+      }
+    }
+  }
+}
+
+TEST(EnsembleSketches, EstimatesAreUpperBoundsAndTightenWithTrees) {
+  Rng grng(61);
+  const auto g = make_gnm(80, 200, {1.0, 4.0}, grng);
+  const auto small = EnsembleSketches::build(g, 1, 777);
+  const auto large = EnsembleSketches::build(g, 6, 777);
+  const auto apsp = exact_apsp(g);
+  for (Vertex u = 0; u < 80; u += 3) {
+    for (Vertex v = 0; v < 80; v += 5) {
+      const Weight exact = apsp[static_cast<std::size_t>(u) * 80 + v];
+      if (u == v) {
+        EXPECT_DOUBLE_EQ(large.query(u, v), 0.0);
+        continue;
+      }
+      // Dominating trees → upper bounds; tree 0 is shared, so more trees
+      // can only tighten the min.
+      EXPECT_GE(large.query(u, v), exact - 1e-9);
+      EXPECT_LE(large.query(u, v), small.query(u, v));
+      EXPECT_DOUBLE_EQ(large.query(u, v), large.query(v, u));
+    }
+  }
+}
+
+TEST(EnsembleSketches, BatchMatchesPointQueriesAndThreadDeterministic) {
+  const auto corpus = test::serve_graph_corpus(2, 925);
+  const int saved_threads = num_threads();
+  for (const auto& c : corpus) {
+    serve::EnsembleOptions opts;
+    opts.pipeline = serve::EnsemblePipeline::direct;
+    auto sk = EnsembleSketches::build(c.graph, 4, c.seed, opts);
+    Rng wrng(c.seed + 13);
+    serve::WorkloadOptions wopts;
+    wopts.pairs = 1500;
+    const auto pairs = serve::make_workload(
+        c.graph, serve::WorkloadKind::zipf, wopts, wrng);
+    std::vector<Weight> reference;
+    const auto ref = sk.query_batch(pairs, reference);
+    EXPECT_EQ(ref.pairs, pairs.size()) << c.name;
+    EXPECT_EQ(ref.tree_lookups, pairs.size() * sk.trees()) << c.name;
+    for (std::size_t i = 0; i < 40; ++i) {
+      EXPECT_EQ(reference[i], sk.query(pairs[i].first, pairs[i].second))
+          << c.name;
+    }
+    for (const int threads : {1, 2, 8}) {
+      set_num_threads(threads);
+      std::vector<Weight> out;
+      const auto st = sk.query_batch(pairs, out);
+      EXPECT_EQ(out, reference) << c.name << " at " << threads;
+      EXPECT_EQ(st.tree_lookups, ref.tree_lookups) << c.name;
+    }
+    set_num_threads(saved_threads);
+  }
+}
+
+TEST(EnsembleSketches, HotPairCacheKeepsValuesAndSavesLookups) {
+  const auto corpus = test::serve_graph_corpus(2, 926);
+  for (const auto& c : corpus) {
+    serve::EnsembleOptions opts;
+    opts.pipeline = serve::EnsemblePipeline::direct;
+    auto sk = EnsembleSketches::build(c.graph, 4, c.seed, opts);
+    Rng wrng(c.seed + 29);
+    serve::WorkloadOptions wopts;
+    wopts.pairs = 3000;
+    const auto pairs = serve::make_workload(
+        c.graph, serve::WorkloadKind::zipf, wopts, wrng);
+    std::vector<Weight> plain;
+    const auto ref = sk.query_batch(pairs, plain);
+    EXPECT_EQ(sk.cache(), nullptr);
+    sk.enable_cache(4096);
+    ASSERT_NE(sk.cache(), nullptr);
+    std::vector<Weight> cached;
+    const auto st = sk.query_batch(pairs, cached);
+    EXPECT_EQ(cached, plain) << c.name;
+    EXPECT_GT(st.cache_hits, 0U) << c.name << " (zipf repeats pairs)";
+    EXPECT_LT(st.tree_lookups, ref.tree_lookups) << c.name;
+    sk.enable_cache(0);
+    EXPECT_EQ(sk.cache(), nullptr);
+  }
 }
 
 TEST(Sketches, WorksWithOraclePipelineLists) {
