@@ -13,7 +13,7 @@
 # built with google-benchmark — that library's native JSON report under
 # .google_benchmark.
 
-set -u -o pipefail
+set -euo pipefail
 
 # Numeric formatting (awk %.3f, jq --argjson) must use '.' decimals
 # regardless of the caller's locale.
@@ -64,15 +64,14 @@ for bin in "$BENCH_DIR"/bench_*; do
 
   echo "== $name (scale=$SCALE) =="
   start_s="$(date +%s.%N)"
+  status=0
   if [ "$name" = "bench_micro_ops" ]; then
     # Deterministic counter report first (the CI gate baseline), then the
     # google-benchmark timings (the binary prints {} when built without
     # the library); no --scale flag.
-    "$bin" --counters >"$ctr_json" 2>"$tmp_out"
-    status=$?
-    if [ $status -eq 0 ]; then
-      "$bin" --benchmark_format=json >"$gb_json" 2>>"$tmp_out"
-      status=$?
+    "$bin" --counters >"$ctr_json" 2>"$tmp_out" || status=$?
+    if [ "$status" -eq 0 ]; then
+      "$bin" --benchmark_format=json >"$gb_json" 2>>"$tmp_out" || status=$?
     else
       echo '{}' >"$gb_json"
     fi
@@ -82,24 +81,21 @@ for bin in "$BENCH_DIR"/bench_*; do
       # see bench_common.hpp): embed the --counters report, then run the
       # regular markdown-table sweep.
       bench_le_lists|bench_frt_pipelines|bench_serve|bench_kmedian|bench_buyatbulk|bench_sketches)
-        "$bin" --counters >"$ctr_json" 2>"$tmp_out"
-        status=$?
+        "$bin" --counters >"$ctr_json" 2>"$tmp_out" || status=$?
         ;;
       *)
         echo '{}' >"$ctr_json"
-        status=0
         ;;
     esac
-    if [ $status -eq 0 ]; then
-      "$bin" --scale="$SCALE" >"$tmp_out" 2>&1
-      status=$?
+    if [ "$status" -eq 0 ]; then
+      "$bin" --scale="$SCALE" >"$tmp_out" 2>&1 || status=$?
     fi
     echo '{}' >"$gb_json"
   fi
   end_s="$(date +%s.%N)"
   seconds="$(echo "$end_s $start_s" | awk '{printf "%.3f", $1 - $2}')"
 
-  jq -n \
+  if ! jq -n \
     --arg bench "$name" \
     --arg scale "$SCALE" \
     --argjson exit_code "$status" \
@@ -111,8 +107,7 @@ for bin in "$BENCH_DIR"/bench_*; do
       seconds: $seconds, output: $output}
      + (if ($ctr[0] | length) > 0 then {counters: $ctr[0]} else {} end)
      + (if ($gb[0] | length) > 0 then {google_benchmark: $gb[0]} else {} end)' \
-    >"$out_file"
-  if [ $? -ne 0 ]; then
+    >"$out_file"; then
     echo "   FAILED to assemble $out_file" >&2
     status=1
   fi

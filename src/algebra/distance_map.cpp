@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/parallel/parallel.hpp"  // PMTE_TSAN_ACTIVE
 #include "src/util/assertions.hpp"
 
 namespace pmte {
@@ -67,7 +68,16 @@ void DistanceMap::merge_min(const DistanceMap& other, Weight shift) {
   for (; j < other.entries_.size(); ++j)
     scratch.push_back(
         DistEntry{other.entries_[j].key, other.entries_[j].dist + shift});
+#if PMTE_TSAN_ACTIVE
+  // swap() would hand the map a buffer allocated by this worker thread and
+  // park the map's old buffer in this thread's TLS, where the TLS destructor
+  // frees it at thread exit — a cross-thread handoff whose ordering runs
+  // through OpenMP pool teardown, which TSan cannot see.  Copying keeps
+  // buffer ownership with the map (same values, one extra memcpy).
+  entries_.assign(scratch.begin(), scratch.end());
+#else
   entries_.swap(scratch);  // scratch keeps its capacity for the next merge
+#endif
 }
 
 void DistanceMap::drop_beyond(Weight bound) {

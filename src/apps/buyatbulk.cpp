@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <unordered_map>
 
 #include "src/frt/paths.hpp"
@@ -28,8 +29,12 @@ double price_paths(const Graph& g,
                    const std::vector<double>& amounts,
                    const std::vector<CableType>& cables) {
   PMTE_CHECK(paths.size() == amounts.size(), "paths/amounts mismatch");
-  // Aggregate flow per undirected edge.
-  std::unordered_map<std::uint64_t, double> flow;
+  // Aggregate flow per undirected edge.  The per-edge sums are folded
+  // into `total` below by iterating this map, so it must be ordered:
+  // std::map walks keys ascending, making the FP accumulation order (and
+  // hence the returned cost bits) a pure function of the inputs rather
+  // than of a hash table's layout.
+  std::map<std::uint64_t, double> flow;
   auto key = [](Vertex a, Vertex b) {
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;
@@ -80,6 +85,7 @@ BabResult buy_at_bulk(const Graph& g, const std::vector<Demand>& demands,
     return r;
   }();
   {
+    // pmte-lint: ordered-ok(memo cache: find/emplace by source vertex only, never iterated — demand order drives all output)
     std::unordered_map<Vertex, SsspResult> sssp_cache;
     std::vector<std::vector<Vertex>> paths;
     std::vector<double> amounts;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "src/graph/shortest_paths.hpp"
 #include "src/mbf/algorithms.hpp"
@@ -151,10 +150,8 @@ SkeletonRun congest_frt_skeleton(const Graph& g, const SkeletonOptions& opts,
                                                        std::ceil(log_n));
 
   // Relabel skeleton to 0..|S|-1, build G_S, sparsify with Baswana–Sen.
-  std::unordered_map<Vertex, Vertex> sk_index;
-  for (std::size_t i = 0; i < skeleton.size(); ++i) {
-    sk_index[skeleton[i]] = static_cast<Vertex>(i);
-  }
+  // (The relabelling is positional: skeleton[i] ↔ i, so no reverse lookup
+  // table is needed anywhere below.)
   std::vector<WeightedEdge> gs_edges;
   for (std::size_t i = 0; i < skeleton.size(); ++i) {
     for (std::size_t j = i + 1; j < skeleton.size(); ++j) {

@@ -96,6 +96,7 @@ FrtTree FrtTree::build(const std::vector<DistanceMap>& le_lists,
           (static_cast<std::uint64_t>(k.first) << 32) ^ k.second);
     }
   };
+  // pmte-lint: ordered-ok(find/emplace only, never iterated — nodes are numbered by the deterministic v = 0..n-1 leaf walk)
   std::unordered_map<std::pair<NodeId, Vertex>, NodeId, KeyHash> child_index;
   t.leaf_of_.assign(n, invalid_node);
   for (Vertex v = 0; v < n; ++v) {

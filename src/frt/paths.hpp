@@ -47,6 +47,7 @@ class PathUnfolder {
 
   const Graph& g_;
   const FrtTree& tree_;
+  // pmte-lint: ordered-ok(memo cache: find/emplace by leaf vertex only, never iterated — unfold order is the caller's)
   std::unordered_map<Vertex, SsspResult> cache_;
 };
 

@@ -8,6 +8,7 @@
 // experiment E11).
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -16,7 +17,50 @@
 #include <omp.h>
 #endif
 
+// ThreadSanitizer cannot see the happens-before edge of the OpenMP join
+// barrier when the runtime itself is uninstrumented (gcc's libgomp; llvm's
+// libomp without the Archer OMPT tool), so worker-thread writes look
+// unordered against the caller's post-region reads and every parallel_for
+// user false-positives.  PMTE_TSAN_ACTIVE gates a join fence that restates
+// the barrier's edge in plain C++ atomics: each iteration publishes with a
+// release increment, the caller acquires once after the region.  Normal
+// builds compile the fence away entirely.
+#if defined(__SANITIZE_THREAD__)
+#define PMTE_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PMTE_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef PMTE_TSAN_ACTIVE
+#define PMTE_TSAN_ACTIVE 0
+#endif
+
 namespace pmte {
+
+namespace detail {
+#if PMTE_TSAN_ACTIVE
+struct TsanJoin {
+  std::atomic<unsigned> token{0};
+  // Fork edge: the constructor runs on the calling thread before the
+  // region opens; enter()'s acquire load picks up that release store, so
+  // the caller's prior writes are ordered before every worker.  (The
+  // pthread_create edge only covers a pool thread's *first* region.)
+  TsanJoin() noexcept { token.store(1, std::memory_order_release); }
+  void enter() noexcept { (void)token.load(std::memory_order_acquire); }
+  // Join edge: release-RMWs continue one release sequence, so the single
+  // acquire load synchronises with every publish() on every worker.
+  void publish() noexcept { token.fetch_add(1, std::memory_order_release); }
+  void collect() noexcept { (void)token.load(std::memory_order_acquire); }
+};
+#else
+struct TsanJoin {
+  void enter() noexcept {}
+  void publish() noexcept {}
+  void collect() noexcept {}
+};
+#endif
+}  // namespace detail
 
 /// Number of threads OpenMP will use for parallel regions.
 [[nodiscard]] inline int num_threads() noexcept {
@@ -61,10 +105,14 @@ template <typename Body>
 void parallel_for(std::size_t n, Body&& body, std::size_t grain = 64) {
 #ifdef _OPENMP
   if (n >= 2 * grain && omp_get_max_threads() > 1 && !in_parallel()) {
+    detail::TsanJoin join;
 #pragma omp parallel for schedule(dynamic, static_cast<long>(grain))
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      join.enter();
       body(static_cast<std::size_t>(i));
+      join.publish();
     }
+    join.collect();
     return;
   }
 #else
@@ -110,14 +158,18 @@ void parallel_for_balanced(std::size_t n, CostFn&& cost, Body&& body,
       }
       starts.push_back(n);
       const auto chunks = static_cast<std::int64_t>(starts.size() - 1);
+      detail::TsanJoin join;
 #pragma omp parallel for schedule(dynamic, 1)
       for (std::int64_t c = 0; c < chunks; ++c) {
+        join.enter();
         const std::size_t hi = starts[static_cast<std::size_t>(c) + 1];
         for (std::size_t i = starts[static_cast<std::size_t>(c)]; i < hi;
              ++i) {
           body(i);
         }
+        join.publish();
       }
+      join.collect();
       return;
     }
   }
@@ -131,6 +183,22 @@ void parallel_for_balanced(std::size_t n, CostFn&& cost, Body&& body,
 /// Parallel sum-reduction of body(i) over [0, n).
 template <typename Body>
 double parallel_reduce_sum(std::size_t n, Body&& body) {
+#if PMTE_TSAN_ACTIVE && defined(_OPENMP)
+  // The omp reduction clause merges the private copies inside the runtime,
+  // invisible to TSan; fold through parallel_for (which carries the join
+  // fence) into per-thread slots and combine serially instead.  Partial
+  // sums still depend on the schedule, exactly as with the clause — pmte
+  // only reduces exactly-representable values (0/1 flags, degrees), so the
+  // result is bit-identical either way.
+  std::vector<double> partial(
+      static_cast<std::size_t>(std::max(num_threads(), 1)), 0.0);
+  parallel_for(n, [&](std::size_t i) {
+    partial[static_cast<std::size_t>(thread_index())] += body(i);
+  });
+  double total = 0.0;
+  for (const double p : partial) total += p;
+  return total;
+#else
   double total = 0.0;
 #ifdef _OPENMP
 #pragma omp parallel for reduction(+ : total) schedule(static)
@@ -139,6 +207,7 @@ double parallel_reduce_sum(std::size_t n, Body&& body) {
     total += body(static_cast<std::size_t>(i));
   }
   return total;
+#endif
 }
 
 /// Per-thread append buffers for parallel set collection (frontiers, edge
@@ -207,6 +276,22 @@ class PerThreadBuffers {
 /// Parallel max-reduction of body(i) over [0, n).
 template <typename Body>
 double parallel_reduce_max(std::size_t n, Body&& body, double init = 0.0) {
+#if PMTE_TSAN_ACTIVE && defined(_OPENMP)
+  // Same runtime-invisible merge as parallel_reduce_sum; max is order-free,
+  // so the per-thread-slot fold is bit-identical to the reduction clause.
+  std::vector<double> partial(
+      static_cast<std::size_t>(std::max(num_threads(), 1)), init);
+  parallel_for(n, [&](std::size_t i) {
+    const double v = body(i);
+    auto& slot = partial[static_cast<std::size_t>(thread_index())];
+    if (v > slot) slot = v;
+  });
+  double best = init;
+  for (const double p : partial) {
+    if (p > best) best = p;
+  }
+  return best;
+#else
   double best = init;
 #ifdef _OPENMP
 #pragma omp parallel for reduction(max : best) schedule(static)
@@ -216,6 +301,7 @@ double parallel_reduce_max(std::size_t n, Body&& body, double init = 0.0) {
     if (v > best) best = v;
   }
   return best;
+#endif
 }
 
 }  // namespace pmte

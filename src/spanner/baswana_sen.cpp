@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
+#include <map>
 
 #include "src/util/assertions.hpp"
 
@@ -15,10 +14,13 @@ constexpr std::int64_t kUnclustered = -1;
 
 /// Lightest edge from v to each adjacent cluster among alive edges.
 /// Ties are broken towards the lexicographically smaller neighbour so the
-/// algorithm is deterministic given the sampling coins.
+/// algorithm is deterministic given the sampling coins.  The map is
+/// iterated when retiring a vertex (its entries become spanner edges), so
+/// it must have a specified order: std::map walks clusters ascending,
+/// identically on every standard library.
 struct ClusterEdges {
-  // cluster id → (weight, neighbour)
-  std::unordered_map<std::int64_t, std::pair<Weight, Vertex>> lightest;
+  // cluster id → (weight, neighbour), ordered by cluster id
+  std::map<std::int64_t, std::pair<Weight, Vertex>> lightest;
 
   void offer(std::int64_t cluster, Weight w, Vertex nb) {
     auto it = lightest.find(cluster);
@@ -63,22 +65,24 @@ SpannerResult baswana_sen_spanner(const Graph& g, unsigned k, Rng& rng) {
   };
 
   for (unsigned round = 1; round <= k - 1; ++round) {
-    // Sample surviving clusters.
-    std::unordered_set<std::int64_t> sampled;
-    {
-      std::unordered_set<std::int64_t> current;
-      for (Vertex v = 0; v < n; ++v) {
-        if (cluster[v] != kUnclustered) current.insert(cluster[v]);
-      }
-      for (std::int64_t c : current) {
-        if (rng.flip(sample_p)) sampled.insert(c);
-      }
+    // Sample surviving clusters.  Cluster ids live in [0, n) (they are
+    // founding-vertex ids), so dense masks replace hash sets and the
+    // sampling coins are consumed in ascending cluster order — the coin
+    // sequence is a pure function of (graph, seed), not of any hash
+    // table's iteration order.
+    std::vector<char> current(n, 0);
+    for (Vertex v = 0; v < n; ++v) {
+      if (cluster[v] != kUnclustered) current[cluster[v]] = 1;
+    }
+    std::vector<char> sampled(n, 0);
+    for (Vertex c = 0; c < n; ++c) {
+      if (current[c] && rng.flip(sample_p)) sampled[c] = 1;
     }
     const auto adj = adjacency();
     std::vector<std::int64_t> next_cluster(cluster);
     for (Vertex v = 0; v < n; ++v) {
       if (cluster[v] == kUnclustered) continue;
-      if (sampled.count(cluster[v]) > 0) continue;  // carried over verbatim
+      if (sampled[cluster[v]]) continue;  // carried over verbatim
 
       ClusterEdges ce;
       for (std::size_t ei : adj[v]) {
@@ -93,7 +97,7 @@ SpannerResult baswana_sen_spanner(const Graph& g, unsigned k, Rng& rng) {
       Weight best_w = inf_weight();
       Vertex best_nb = no_vertex();
       for (const auto& [c, wn] : ce.lightest) {
-        if (sampled.count(c) == 0) continue;
+        if (!sampled[c]) continue;
         if (!have_sampled || wn.first < best_w ||
             (wn.first == best_w && wn.second < best_nb)) {
           have_sampled = true;

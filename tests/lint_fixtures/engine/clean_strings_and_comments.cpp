@@ -1,0 +1,17 @@
+// pmte-lint-fixture-path: src/util/clean_strings_and_comments.cpp
+// Lexer specificity test: banned tokens inside comments, string literals,
+// char literals, and raw strings are NOT code and must not be flagged.
+// Mentions here like rand(), std::mt19937, omp_get_thread_num() and
+// #pragma omp parallel are commentary, not violations.
+#include <string>
+
+/* Block comments too: std::random_device, unordered_map<int,int>,
+   reinterpret_cast<std::uintptr_t>(p), std::chrono::steady_clock. */
+
+std::string docs() {
+  const char* a = "call rand() and srand(1) inside a string";
+  const char* b = "#pragma omp critical in a string is fine";
+  std::string c = R"(raw string: std::unordered_set<int> s; time(nullptr))";
+  char d = '"';  // a quote char must not derail the lexer: rand stays text
+  return std::string(a) + b + c + d;
+}

@@ -1,0 +1,13 @@
+// pmte-lint-fixture-path: src/parallel/bad_atomic_inside_parallel_dir.cpp
+// Inside src/parallel/ raw pragmas are allowed (that is the audited home
+// of all OpenMP), but FP accumulation via atomic/critical is banned
+// EVERYWHERE — scheduling order changes the rounding.
+double still_bad_here(int n) {
+  double total = 0.0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+#pragma omp atomic  // expect-lint: omp-fp-atomic
+    total += 0.25 * i;
+  }
+  return total;
+}

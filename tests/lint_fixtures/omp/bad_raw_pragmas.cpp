@@ -1,0 +1,30 @@
+// pmte-lint-fixture-path: src/mbf/bad_raw_pragmas.cpp
+// Raw OpenMP outside src/parallel/: bypasses the audited deterministic
+// chunking/merge helpers.  `critical`/`atomic` additionally commit FP
+// updates in scheduling order, and the thread-id APIs make behaviour a
+// function of OMP_NUM_THREADS.
+#include <omp.h>
+
+double bad_parallel_sum(int n) {
+  double total = 0.0;
+#pragma omp parallel for  // expect-lint: raw-omp-pragma
+  for (int i = 0; i < n; ++i) {
+#pragma omp critical  // expect-lint: raw-omp-pragma, omp-fp-atomic
+    total += 1.0 / (1.0 + i);
+  }
+  return total;
+}
+
+double bad_atomic_accumulate(int n) {
+  double total = 0.0;
+#pragma omp parallel for  // expect-lint: raw-omp-pragma
+  for (int i = 0; i < n; ++i) {
+#pragma omp atomic  // expect-lint: raw-omp-pragma, omp-fp-atomic
+    total += 0.5 * i;
+  }
+  return total;
+}
+
+int bad_thread_id() {
+  return omp_get_thread_num() + omp_get_max_threads();  // expect-lint: omp-thread-api
+}

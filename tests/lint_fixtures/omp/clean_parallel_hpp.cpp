@@ -1,0 +1,12 @@
+// pmte-lint-fixture-path: src/parallel/parallel.hpp
+// The audited OpenMP home: raw worksharing pragmas and the thread-count
+// APIs are legitimate here (and only here).
+#include <omp.h>
+
+int allowed_thread_count() { return omp_get_max_threads(); }
+int allowed_thread_index() { return omp_get_thread_num(); }
+
+void allowed_parallel_for(int n, int* out) {
+#pragma omp parallel for schedule(dynamic, 64)
+  for (int i = 0; i < n; ++i) out[i] = i;
+}

@@ -1,0 +1,17 @@
+// pmte-lint-fixture-path: src/frt/bad_pointer_identity.cpp
+// Pointer values change run to run (ASLR, allocator state); hashing them
+// or folding them into keys makes layout and iteration irreproducible.
+#include <cstdint>
+#include <functional>
+
+struct Node {
+  int id;
+};
+
+std::size_t bad_hash(Node* n) {
+  return std::hash<Node*>{}(n);  // expect-lint: pointer-hash-order
+}
+
+std::uint64_t bad_key(const Node* n) {
+  return reinterpret_cast<std::uintptr_t>(n);  // expect-lint: pointer-hash-order
+}

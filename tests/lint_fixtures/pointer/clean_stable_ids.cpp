@@ -1,0 +1,13 @@
+// pmte-lint-fixture-path: src/frt/clean_stable_ids.cpp
+// The deterministic alternative: key on stable integer ids, never on
+// addresses.
+#include <cstdint>
+#include <functional>
+
+struct Node {
+  std::uint32_t id;
+};
+
+std::size_t good_hash(const Node& n) {
+  return std::hash<std::uint32_t>{}(n.id);
+}

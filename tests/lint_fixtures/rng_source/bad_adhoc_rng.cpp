@@ -1,0 +1,15 @@
+// pmte-lint-fixture-path: src/graph/bad_adhoc_rng.cpp
+// Ad-hoc randomness: every line below is irreproducible from the master
+// seed and must flow through src/util/rng.hpp instead.
+#include <cstdlib>
+#include <random>
+
+int bad_seed() {
+  std::srand(42);                                // expect-lint: rng-source
+  int a = rand();                                // expect-lint: rng-source
+  std::random_device rd;                         // expect-lint: rng-source
+  std::mt19937 gen(rd());                        // expect-lint: rng-source
+  std::mt19937_64 wide(time(nullptr));           // expect-lint: rng-source
+  std::default_random_engine eng;                // expect-lint: rng-source
+  return a + static_cast<int>(gen() + wide() + eng());
+}

@@ -1,0 +1,9 @@
+// pmte-lint-fixture-path: src/util/rng.hpp
+// The one file allowed to talk about raw entropy sources: rng.hpp is the
+// audited boundary, so mentions of std::random_device here are exempt.
+#include <random>
+
+unsigned long long hardware_entropy_for_docs_only() {
+  std::random_device rd;  // exempt: this pretend-file IS src/util/rng.hpp
+  return rd();
+}

@@ -1,0 +1,21 @@
+// pmte-lint-fixture-path: src/apps/bad_iteration_feeds_output.cpp
+// Unwaived unordered containers: iteration order is implementation-defined
+// and here it feeds both an FP accumulation and an output vector.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double bad_fold() {
+  std::unordered_map<int, double> acc;           // expect-lint: unordered-container
+  acc[3] = 0.25;
+  acc[7] = 0.5;
+  double total = 0.0;
+  for (const auto& [k, v] : acc) total += v;  // order-dependent rounding
+  return total;
+}
+
+std::vector<int> bad_output(const std::unordered_set<int>& keys) {  // expect-lint: unordered-container
+  std::vector<int> out;
+  for (int k : keys) out.push_back(k);  // order leaks into the result
+  return out;
+}

@@ -1,0 +1,9 @@
+// pmte-lint-fixture-path: src/apps/bad_waiver_forms.cpp
+// Waivers must carry a reason and name a real rule; otherwise they are
+// findings themselves and do NOT silence anything.
+#include <unordered_map>
+
+std::unordered_map<int, int> a;  // pmte-lint: ordered-ok() expect-lint: bad-waiver, unordered-container
+
+// pmte-lint: allow(no-such-rule: reasons do not help unknown rules) expect-lint: bad-waiver
+std::unordered_map<int, int> b;  // expect-lint: unordered-container

@@ -1,0 +1,17 @@
+// pmte-lint-fixture-path: src/apps/clean_waived_lookup_only.cpp
+// Both waiver placements: same line, and a comment-only line directly
+// above the declaration.  Lookup-only caches never iterate, so no
+// iteration order can leak — that is exactly what the reason must say.
+#include <unordered_map>
+
+struct Memo {
+  // pmte-lint: ordered-ok(lookup-only memo cache: find/emplace by key, never iterated)
+  std::unordered_map<int, double> per_source;
+
+  std::unordered_map<int, int> ids;  // pmte-lint: ordered-ok(find-only id lookup, never iterated)
+
+  double get(int k) const {
+    auto it = per_source.find(k);
+    return it == per_source.end() ? -1.0 : it->second;
+  }
+};

@@ -1,0 +1,10 @@
+// pmte-lint-fixture-path: src/serve/bad_clock_in_library.cpp
+// Clock reads in library code: wall time leaking into any decision
+// (seed, threshold, tie-break) makes runs irreproducible.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t bad_time_based_seed() {
+  auto now = std::chrono::steady_clock::now();  // expect-lint: wall-clock
+  return static_cast<std::uint64_t>(now.time_since_epoch().count());
+}

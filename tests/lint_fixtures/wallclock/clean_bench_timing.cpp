@@ -1,0 +1,10 @@
+// pmte-lint-fixture-path: bench/clean_bench_timing.cpp
+// Benches and tests may measure wall time — the wall-clock rule scopes to
+// src/ only (and src/util/timer.hpp is its audited exemption).
+#include <chrono>
+
+double bench_seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}

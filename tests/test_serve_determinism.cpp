@@ -1,0 +1,173 @@
+// 1/2/8-thread determinism cross-check for the serving hot path:
+// FrtEnsemble build, query_batch (all three workload shapes × both
+// policies), and HotPairCache admission/fill behaviour.  Every double and
+// every logical counter must be bit-identical whatever OMP_NUM_THREADS
+// says — this is the determinism contract (docs/DETERMINISM.md) checked
+// end to end on the layer the many-tenant server will sit on.
+//
+// The suite carries the `tsan-par` CTest label: the ThreadSanitizer CI job
+// builds it under the `tsan` preset and runs it at 8 threads, so the same
+// assertions double as a race detector workload (parallel ensemble build,
+// parallel batch serving, concurrent cache fills into disjoint slots).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/parallel/parallel.hpp"
+#include "src/serve/frt_ensemble.hpp"
+#include "src/serve/hot_pair_cache.hpp"
+#include "src/serve/workloads.hpp"
+
+namespace pmte {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+Graph test_graph() {
+  Rng rng(4242);
+  return make_gnm(384, 1600, {1.0, 9.0}, rng);
+}
+
+serve::EnsembleOptions ensemble_options() {
+  serve::EnsembleOptions opts;
+  opts.trees = 8;
+  opts.pipeline = serve::EnsemblePipeline::direct;
+  return opts;
+}
+
+/// Bitwise equality for served doubles: EXPECT_EQ on doubles compares
+/// values (and would accept -0.0 == 0.0); the contract is stronger.
+::testing::AssertionResult bits_equal(const std::vector<Weight>& a,
+                                      const std::vector<Weight>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  if (!a.empty() &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(Weight)) != 0) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a[i], &b[i], sizeof(Weight)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first bit difference at index " << i << ": " << a[i]
+               << " vs " << b[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(num_threads()) {}
+  ~ThreadGuard() { set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ServeDeterminism, EnsembleBuildIdenticalAcrossThreadCounts) {
+  const auto g = test_graph();
+  ThreadGuard guard;
+  set_num_threads(1);
+  const auto reference = serve::FrtEnsemble::build(g, 99, ensemble_options());
+  for (int threads : kThreadCounts) {
+    set_num_threads(threads);
+    const auto e = serve::FrtEnsemble::build(g, 99, ensemble_options());
+    EXPECT_TRUE(e == reference) << "build diverged at " << threads
+                                << " threads";
+    EXPECT_EQ(e.build_stats().relaxations, reference.build_stats().relaxations);
+    EXPECT_EQ(e.build_stats().work, reference.build_stats().work);
+    EXPECT_EQ(e.build_stats().index_nodes, reference.build_stats().index_nodes);
+  }
+}
+
+TEST(ServeDeterminism, QueryBatchBitIdenticalAcrossThreadCounts) {
+  const auto g = test_graph();
+  ThreadGuard guard;
+  set_num_threads(1);
+  const auto e = serve::FrtEnsemble::build(g, 171, ensemble_options());
+
+  for (auto kind : {serve::WorkloadKind::uniform, serve::WorkloadKind::bfs_local,
+                    serve::WorkloadKind::zipf}) {
+    serve::WorkloadOptions wopts;
+    wopts.pairs = 6000;
+    Rng wrng(split_seed(171, 77));
+    const auto pairs = serve::make_workload(g, kind, wopts, wrng);
+    for (auto policy :
+         {serve::AggregatePolicy::min, serve::AggregatePolicy::median}) {
+      set_num_threads(1);
+      std::vector<Weight> reference;
+      const auto ref_stats = e.query_batch(pairs, policy, reference);
+      for (int threads : kThreadCounts) {
+        set_num_threads(threads);
+        std::vector<Weight> out;
+        const auto stats = e.query_batch(pairs, policy, out);
+        EXPECT_TRUE(bits_equal(reference, out))
+            << serve::workload_name(kind) << "/" << serve::policy_name(policy)
+            << " at " << threads << " threads";
+        EXPECT_EQ(stats.pairs, ref_stats.pairs);
+        EXPECT_EQ(stats.tree_lookups, ref_stats.tree_lookups);
+        EXPECT_EQ(stats.lca_probes, ref_stats.lca_probes);
+      }
+    }
+  }
+}
+
+TEST(ServeDeterminism, HotPairCacheIdenticalAcrossThreadCounts) {
+  const auto g = test_graph();
+  ThreadGuard guard;
+  set_num_threads(1);
+  const auto e = serve::FrtEnsemble::build(g, 5150, ensemble_options());
+
+  serve::WorkloadOptions wopts;
+  wopts.pairs = 6000;
+  wopts.zipf_s = 1.2;
+  Rng wrng(split_seed(5150, 13));
+  const auto pairs =
+      serve::make_workload(g, serve::WorkloadKind::zipf, wopts, wrng);
+
+  // Reference: serial, cache on; and serial, cache off (same values).
+  serve::HotPairCache ref_cache(1024);
+  std::vector<Weight> reference, plain;
+  const auto ref_stats = e.query_batch(pairs, serve::AggregatePolicy::min,
+                                       reference, &ref_cache);
+  e.query_batch(pairs, serve::AggregatePolicy::min, plain);
+  ASSERT_TRUE(bits_equal(reference, plain));
+  EXPECT_GT(ref_stats.cache_hits, 0u);
+
+  // Warm-batch reference: replaying the batch over the filled cache serves
+  // every admitted pair from its slot (only conflict bypasses recompute).
+  std::vector<Weight> ref_warm;
+  const auto ref_warm_stats = e.query_batch(pairs, serve::AggregatePolicy::min,
+                                            ref_warm, &ref_cache);
+  ASSERT_TRUE(bits_equal(reference, ref_warm));
+
+  for (int threads : kThreadCounts) {
+    set_num_threads(threads);
+    serve::HotPairCache cache(1024);
+    std::vector<Weight> out;
+    const auto stats =
+        e.query_batch(pairs, serve::AggregatePolicy::min, out, &cache);
+    EXPECT_TRUE(bits_equal(reference, out)) << threads << " threads";
+    EXPECT_EQ(stats.cache_hits, ref_stats.cache_hits) << threads;
+    EXPECT_EQ(stats.cache_misses, ref_stats.cache_misses) << threads;
+    EXPECT_EQ(stats.tree_lookups, ref_stats.tree_lookups) << threads;
+    // A second (warm) batch over the same cache must hit identically too.
+    std::vector<Weight> warm;
+    const auto warm_stats =
+        e.query_batch(pairs, serve::AggregatePolicy::min, warm, &cache);
+    EXPECT_TRUE(bits_equal(reference, warm));
+    EXPECT_EQ(warm_stats.cache_hits, ref_warm_stats.cache_hits) << threads;
+    EXPECT_EQ(warm_stats.cache_misses, ref_warm_stats.cache_misses) << threads;
+    EXPECT_EQ(cache.stats().admissions, ref_cache.stats().admissions);
+    EXPECT_EQ(cache.stats().conflicts, ref_cache.stats().conflicts);
+    EXPECT_EQ(cache.stats().hits, ref_cache.stats().hits);
+  }
+}
+
+}  // namespace
+}  // namespace pmte

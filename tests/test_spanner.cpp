@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "src/graph/generators.hpp"
 #include "src/graph/shortest_paths.hpp"
@@ -83,6 +84,45 @@ TEST(Spanner, WorksOnSparseTrees) {
   const auto sp = baswana_sen_spanner(g, 3, rng);
   // A tree is its own unique connected subgraph: all edges must stay.
   EXPECT_EQ(sp.edges, g.num_edges());
+}
+
+// The spanner consumes sampling coins in ascending cluster order and walks
+// per-vertex cluster maps in key order (std::map) — both orders are
+// *specified*, not implementation-defined, so the exact output edge set is
+// a pure function of (graph, seed) on every platform and standard library.
+// Pin it: if someone reintroduces hash-order iteration (the pre-lint code
+// iterated unordered_set/unordered_map here), this fingerprint moves.
+TEST(Spanner, OutputBitsArePinnedAcrossPlatforms) {
+  Rng graph_rng(42);
+  const auto g = make_gnm(32, 120, {1.0, 4.0}, graph_rng);
+  Rng rng(7);
+  const auto sp = baswana_sen_spanner(g, 2, rng);
+  const std::vector<WeightedEdge> edges = sp.spanner.edge_list();
+  std::uint64_t hash = kFnv1aInit;
+  for (const auto& e : edges) {
+    hash = fnv1a_fold(hash, e.u);
+    hash = fnv1a_fold(hash, e.v);
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof e.weight);
+    std::memcpy(&bits, &e.weight, sizeof bits);
+    hash = fnv1a_fold(hash, bits);
+  }
+  EXPECT_EQ(sp.edges, 112u);
+  EXPECT_EQ(hash, 0x588dcf9266ce15cfULL) << "spanner edge fingerprint drifted";
+
+  // Same seed, fresh RNG: bit-identical rerun.
+  Rng rng2(7);
+  const auto sp2 = baswana_sen_spanner(g, 2, rng2);
+  EXPECT_EQ(sp2.edges, sp.edges);
+  const std::vector<WeightedEdge> edges2 = sp2.spanner.edge_list();
+  ASSERT_EQ(edges.size(), edges2.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& a = edges[i];
+    const auto& b = edges2[i];
+    EXPECT_EQ(a.u, b.u);
+    EXPECT_EQ(a.v, b.v);
+    EXPECT_EQ(a.weight, b.weight);  // exact double equality, deliberately
+  }
 }
 
 TEST(Spanner, RejectsKZero) {
