@@ -25,7 +25,9 @@ and commit the updated BENCH_<name>.json.  Gated baselines: micro_ops
 (engine micro scenarios), le_lists and frt_pipelines (the sparse oracle /
 FRT pipeline scenarios), serve (ensemble build work + batch-query
 counters: queries, per-tree lookups, sparse-table LCA probes, hot-pair
-cache misses), and the application query paths — kmedian, buyatbulk,
+cache misses), server (the many-tenant scenario: per-tenant cumulative
+query counters across interleaved streams and a mid-stream epoch
+hot-swap), and the application query paths — kmedian, buyatbulk,
 sketches (tree_node_visits = FrtTree pointer chases, zero on the flat
 serving paths; tree_lookups / lca_probes = flat index reads / RMQ probes).
 cache_hits and result_hash32 are emitted but deliberately NOT gated: hits

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""Fail on dead relative links in the repository's markdown files.
+"""Fail on dead relative links and dead #anchors in the repo's markdown.
 
 Scans every tracked *.md file (the repo root and docs/, excluding build
-trees) for inline markdown links and images `[text](target)`, and checks
-that each *relative* target exists on disk.  External links (http/https/
-mailto), pure in-page anchors (#...), and absolute paths are skipped —
-this is a repo-consistency check, not a crawler.  Targets may carry a
-#fragment (README.md#serving) and an optional `path:line` suffix is NOT
-treated specially: link to files, not lines.
+trees) for inline markdown links and images `[text](target)`, and checks:
+
+  targets    — each *relative* target exists on disk.  External links
+               (http/https/mailto) and absolute paths are skipped — this
+               is a repo-consistency check, not a crawler.
+  fragments  — each `#anchor` fragment (in-page `#section` links and
+               cross-file `docs/FORMAT.md#header` links into markdown
+               files) names a real heading of the target document.
+               Anchors are derived GitHub-style: lowercase, punctuation
+               stripped, spaces become hyphens, repeated headings get
+               -1/-2/... suffixes; fenced code blocks are ignored, so a
+               `# comment` inside a transcript is not a heading.
 
 Usage:
   scripts/check_docs_links.py [--root DIR]
 
-Exit status: 0 = all relative links resolve, 1 = at least one is dead
-(each dead link is printed as file:line: target).  Run locally before
+Exit status: 0 = all relative links and anchors resolve, 1 = at least one
+is dead (each is printed as file:line: target).  Run locally before
 committing doc changes; CI runs it as the docs-links job.
 """
 
@@ -25,9 +31,43 @@ import sys
 # Inline links/images; deliberately simple — no reference-style links are
 # used in this repo.  Group 1 is the target inside the parentheses.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
 
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
 SKIP_DIRS = {".git", "build", ".ccache", "bench-out"}
+
+
+def github_slug(heading):
+    """GitHub's anchor id for a heading (before duplicate suffixing)."""
+    # Inline links contribute their text, not their target; emphasis and
+    # code markers are punctuation and fall to the strip below.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"\s", "-", slug)
+
+
+def document_anchors(path):
+    """All anchor ids of a markdown file, fenced code blocks excluded."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
 
 
 def iter_markdown_files(root):
@@ -39,7 +79,13 @@ def iter_markdown_files(root):
                 yield os.path.join(dirpath, name)
 
 
-def check_file(path, root):
+def check_file(path, root, anchor_cache):
+    def anchors_of(md_path):
+        key = os.path.normpath(md_path)
+        if key not in anchor_cache:
+            anchor_cache[key] = document_anchors(key)
+        return anchor_cache[key]
+
     dead = []
     with open(path, "r", encoding="utf-8") as f:
         for lineno, line in enumerate(f, start=1):
@@ -49,15 +95,20 @@ def check_file(path, root):
                     continue
                 if os.path.isabs(target):
                     continue
-                # Drop an in-page fragment: docs/FORMAT.md#header.
-                target_path = target.split("#", 1)[0]
-                if not target_path:
-                    continue
-                resolved = os.path.normpath(
-                    os.path.join(os.path.dirname(path), target_path))
-                if not os.path.exists(resolved):
-                    rel = os.path.relpath(path, root)
-                    dead.append(f"{rel}:{lineno}: {target}")
+                rel = os.path.relpath(path, root)
+                target_path, _, fragment = target.partition("#")
+                if target_path:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), target_path))
+                    if not os.path.exists(resolved):
+                        dead.append(f"{rel}:{lineno}: {target}")
+                        continue
+                else:
+                    resolved = path  # pure in-page anchor
+                if fragment and resolved.endswith(".md"):
+                    if fragment not in anchors_of(resolved):
+                        dead.append(f"{rel}:{lineno}: {target} "
+                                    f"(no such anchor)")
     return dead
 
 
@@ -69,17 +120,19 @@ def main():
 
     dead = []
     files = 0
+    anchor_cache = {}
     for path in iter_markdown_files(args.root):
         files += 1
-        dead.extend(check_file(path, args.root))
+        dead.extend(check_file(path, args.root, anchor_cache))
 
     if dead:
-        print(f"{len(dead)} dead relative link(s):", file=sys.stderr)
+        print(f"{len(dead)} dead relative link(s)/anchor(s):",
+              file=sys.stderr)
         for entry in dead:
             print(f"  DEAD {entry}", file=sys.stderr)
         return 1
     print(f"docs links OK: {files} markdown files, all relative links "
-          "resolve")
+          "and anchors resolve")
     return 0
 
 

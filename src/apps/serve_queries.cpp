@@ -9,6 +9,7 @@
 //                   [--cache] [--cache-capacity=65536]
 //                   [--save=FILE] [--load=FILE] [--threads=N] [--roundtrip]
 //                   [--stretch]
+//                   [--tenants=N [--batches=8] [--swap-at=BATCH]]
 //
 // The embedding lifecycle end to end: sample k FRT trees (one master
 // seed, split per tree), compact them into O(1)-query FrtIndex layouts,
@@ -23,17 +24,32 @@
 // Dijkstra over every pair — the Kao–Lee–Wagner distance-weighted average
 // stretch plus mean/max/min — and is meant for corpus-size graphs (it runs
 // n Dijkstras and n²/2 queries).
+//
+// --tenants N switches to the many-tenant scenario (src/serve/server.hpp):
+// N tenant streams with alternating zipf/uniform shapes and min/median
+// policies, interleaved deterministically into --batches batches and
+// served through the Server's route/execute/scatter pipeline, one hot-pair
+// cache per stream.  --swap-at B builds a second ensemble (master seed
+// seed+1) while the first epoch serves and stages a hot-swap of tenant 0
+// that flips at the start of batch B; the drained epoch retires from the
+// registry.  The final per-tenant counter table (pairs, tree lookups, LCA
+// probes, cache hits/misses, result hash) is bit-identical at any thread
+// count — the same quantities the CI gate pins in BENCH_server.json.
 
 #include <cmath>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/graph/generators.hpp"
 #include "src/serve/frt_ensemble.hpp"
 #include "src/serve/hot_pair_cache.hpp"
+#include "src/serve/server.hpp"
 #include "src/serve/stretch_report.hpp"
 #include "src/serve/workloads.hpp"
 #include "src/util/cli.hpp"
@@ -50,6 +66,109 @@ serve::EnsemblePipeline parse_pipeline(const std::string& name) {
   if (name == "sequential") return serve::EnsemblePipeline::sequential;
   std::cerr << "unknown pipeline: " << name << "\n";
   std::exit(2);
+}
+
+std::string fp_hex(std::uint64_t fp) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << fp;
+  return os.str();
+}
+
+/// The many-tenant scenario: N interleaved tenant streams through one
+/// Server, optionally with a mid-stream epoch hot-swap of tenant 0.
+int run_tenant_scenario(const Graph& g, serve::FrtEnsemble base,
+                        std::uint64_t seed, const Cli& cli) {
+  const auto tenants = static_cast<std::size_t>(cli.get_int("tenants", 4));
+  const auto batches =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("batches", 8)));
+  const auto swap_at = cli.get_int("swap-at", -1);
+  const auto total_queries =
+      static_cast<std::size_t>(cli.get_int("queries", 200000));
+  const auto cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache-capacity", 4096));
+  const std::size_t trees = base.num_trees();
+
+  serve::Server server;
+  const std::uint64_t fp0 = server.load(std::move(base));
+  std::cout << "registry: serving ensemble " << fp_hex(fp0) << " ("
+            << trees << " trees)\n";
+
+  // Load the replacement epoch *before* any flip: the expensive build
+  // happens while the old epoch still serves; the flip itself is a
+  // pointer assignment at a batch boundary.
+  std::uint64_t fp_next = 0;
+  if (swap_at >= 0) {
+    serve::EnsembleOptions opts;
+    opts.trees = trees;
+    opts.pipeline = parse_pipeline(cli.get("pipeline", "oracle"));
+    const Timer t;
+    fp_next = server.load(serve::FrtEnsemble::build(g, seed + 1, opts));
+    std::cout << "registry: loaded replacement " << fp_hex(fp_next)
+              << " (master seed " << seed + 1 << ") in " << t.millis()
+              << " ms, old epoch still serving\n";
+  }
+
+  // Tenant streams: alternating zipf/uniform shapes, min/median policies,
+  // one hot-pair cache per stream.
+  std::vector<serve::TenantStreamSpec> specs(tenants);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    specs[t].kind = (t % 2 == 0) ? serve::WorkloadKind::zipf
+                                 : serve::WorkloadKind::uniform;
+    specs[t].opts.pairs = std::max<std::size_t>(1, total_queries / tenants);
+    specs[t].opts.zipf_s = cli.get_double("zipf-s", 1.1);
+    serve::TenantConfig cfg;
+    cfg.ensemble = fp0;
+    cfg.policy = ((t / 2) % 2 == 0) ? serve::AggregatePolicy::min
+                                    : serve::AggregatePolicy::median;
+    cfg.cache_capacity = cache_capacity;
+    server.add_tenant(cfg);
+  }
+
+  const auto stream = serve::make_multi_tenant_workload(g, specs, seed);
+  std::cout << tenants << " tenants, " << stream.size()
+            << " interleaved queries in " << batches << " batches, "
+            << num_threads() << " threads\n";
+
+  std::vector<Weight> out;
+  double total_seconds = 0.0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    if (swap_at >= 0 && b == static_cast<std::size_t>(swap_at)) {
+      server.stage_swap(0, fp_next);
+      std::cout << "batch " << b << ": staged swap tenant 0 -> "
+                << fp_hex(fp_next) << " (flips at this batch boundary)\n";
+    }
+    const std::size_t lo = stream.size() * b / batches;
+    const std::size_t hi = stream.size() * (b + 1) / batches;
+    const Timer t;
+    server.serve(std::span(stream).subspan(lo, hi - lo), out);
+    const double s = t.seconds();
+    total_seconds += s;
+    std::cout << "batch " << b << ": " << hi - lo << " queries in "
+              << s * 1e3 << " ms\n";
+  }
+  std::cout << "total: " << stream.size() << " queries in "
+            << total_seconds * 1e3 << " ms = "
+            << static_cast<double>(stream.size()) / total_seconds / 1e6
+            << " Mq/s; registry holds " << server.registry().size()
+            << " ensemble(s), " << server.epochs_retired()
+            << " epoch(s) retired\n";
+
+  // The deterministic per-stream ledger: every column is bit-identical at
+  // any thread count (the quantities BENCH_server.json gates in CI).
+  std::cout << "tenant  workload  policy  epoch  pairs  tree_lookups  "
+               "lca_probes  cache_hits  cache_misses  result_hash32\n";
+  for (std::size_t t = 0; t < tenants; ++t) {
+    const auto& c = server.counters(static_cast<serve::TenantId>(t));
+    std::cout << t << "  " << serve::workload_name(specs[t].kind) << "  "
+              << serve::policy_name(
+                     server.tenant_config(static_cast<serve::TenantId>(t))
+                         .policy)
+              << "  " << c.epoch << "  " << c.pairs << "  "
+              << c.tree_lookups << "  " << c.lca_probes << "  "
+              << c.cache_hits << "  " << c.cache_misses << "  "
+              << c.result_hash32() << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -130,6 +249,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "round-trip OK (" << buf.str().size() << " bytes)\n";
+  }
+
+  // --- Many-tenant scenario (exclusive with the single-workload replay). --
+  if (cli.get_int("tenants", 0) > 0) {
+    return run_tenant_scenario(g, std::move(ensemble), seed, cli);
   }
 
   // --- Replay the workload. ----------------------------------------------

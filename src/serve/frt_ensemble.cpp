@@ -38,6 +38,11 @@ std::uint64_t FrtEnsemble::fingerprint(const Graph& g) {
   return hash;
 }
 
+std::uint64_t FrtEnsemble::registry_fingerprint() const noexcept {
+  return serve::registry_fingerprint(kEnsembleMagic, master_seed_,
+                                     graph_fingerprint_, indices_.size());
+}
+
 FrtEnsemble FrtEnsemble::build(const Graph& g, std::uint64_t master_seed,
                                const EnsembleOptions& opts) {
   PMTE_CHECK(opts.trees >= 1, "FrtEnsemble: needs at least one tree");

@@ -100,6 +100,13 @@ class FrtEnsemble {
   /// FNV-1a over (n, every half-edge's target and weight bits) — a cheap
   /// structural identity for "same graph as at build time" checks.
   [[nodiscard]] static std::uint64_t fingerprint(const Graph& g);
+
+  /// Registry identity of this ensemble: serve::registry_fingerprint over
+  /// its serialized v2 prelude (header + master seed + graph fingerprint +
+  /// tree count).  A pure function of the deterministic build inputs, so a
+  /// freshly built ensemble and its save→load round-trip fingerprint
+  /// identically; the many-tenant server keys its EnsembleRegistry on it.
+  [[nodiscard]] std::uint64_t registry_fingerprint() const noexcept;
   [[nodiscard]] const FrtIndex& index(std::size_t t) const {
     return indices_[t];
   }

@@ -5,8 +5,26 @@
 #include <ostream>
 
 #include "src/util/assertions.hpp"
+#include "src/util/rng.hpp"
 
 namespace pmte::serve {
+
+std::uint64_t registry_fingerprint(const char (&magic)[8],
+                                   std::uint64_t master_seed,
+                                   std::uint64_t graph_fingerprint,
+                                   std::uint64_t tree_count) noexcept {
+  // Fold the serialized prelude word by word: the 8 magic bytes as one
+  // little-endian-in-memory u64, then the header/identity words in the
+  // order BinaryWriter emits them.
+  std::uint64_t magic_word = 0;
+  std::memcpy(&magic_word, magic, sizeof(magic_word));
+  std::uint64_t hash = fnv1a_fold(kFnv1aInit, magic_word);
+  hash = fnv1a_fold(hash, kEndianProbe);
+  hash = fnv1a_fold(hash, kFormatVersion);
+  hash = fnv1a_fold(hash, master_seed);
+  hash = fnv1a_fold(hash, graph_fingerprint);
+  return fnv1a_fold(hash, tree_count);
+}
 
 void BinaryWriter::bytes(const void* data, std::size_t n) {
   os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));

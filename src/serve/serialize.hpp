@@ -38,6 +38,22 @@ inline constexpr std::uint32_t kEndianProbe = 0x01020304U;
 inline constexpr char kIndexMagic[8] = {'P', 'M', 'T', 'E', 'I', 'D', 'X', '1'};
 inline constexpr char kEnsembleMagic[8] = {'P', 'M', 'T', 'E', 'E', 'N', 'S', '1'};
 
+/// Registry fingerprint of a serving artefact: 64-bit FNV-1a over the
+/// words of its serialized v2 prelude — the 16-byte header (magic bytes,
+/// endian probe, format version) followed by the identity words that open
+/// the payload (for an ensemble: master seed, graph fingerprint, tree
+/// count).  Two artefacts share a fingerprint iff they agree on artefact
+/// kind, format version, source graph, master seed, and tree count — the
+/// exact tuple that makes a deterministic build reproducible — so the
+/// fingerprint is a content identity, not a file hash: it is the same
+/// whether the ensemble was just built or reloaded from disk.  The
+/// many-tenant server keys its EnsembleRegistry on this value
+/// (src/serve/server.hpp); docs/FORMAT.md documents the derivation.
+/// Callers pass the identity words in serialized order.
+[[nodiscard]] std::uint64_t registry_fingerprint(
+    const char (&magic)[8], std::uint64_t master_seed,
+    std::uint64_t graph_fingerprint, std::uint64_t tree_count) noexcept;
+
 class BinaryWriter {
  public:
   explicit BinaryWriter(std::ostream& os) : os_(os) {}

@@ -1,0 +1,141 @@
+#include "src/serve/server.hpp"
+
+#include <algorithm>
+
+#include "src/parallel/parallel.hpp"
+#include "src/util/assertions.hpp"
+
+namespace pmte::serve {
+
+std::uint64_t EnsembleRegistry::add(FrtEnsemble e) {
+  const std::uint64_t fp = e.registry_fingerprint();
+  const auto it = entries_.find(fp);
+  if (it != entries_.end()) {
+    PMTE_CHECK(*it->second == e,
+               "EnsembleRegistry::add: fingerprint collision between "
+               "different ensembles (same build identity, different "
+               "content)");
+    return fp;
+  }
+  entries_.emplace(fp, std::make_shared<const FrtEnsemble>(std::move(e)));
+  return fp;
+}
+
+std::shared_ptr<const FrtEnsemble> EnsembleRegistry::find(
+    std::uint64_t fingerprint) const {
+  const auto it = entries_.find(fingerprint);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::vector<std::uint64_t> EnsembleRegistry::fingerprints() const {
+  std::vector<std::uint64_t> fps;
+  fps.reserve(entries_.size());
+  for (const auto& [fp, e] : entries_) fps.push_back(fp);
+  return fps;
+}
+
+TenantId Server::add_tenant(const TenantConfig& cfg) {
+  Tenant t;
+  t.cfg = cfg;
+  t.ensemble = registry_.find(cfg.ensemble);
+  PMTE_CHECK(t.ensemble != nullptr,
+             "Server::add_tenant: ensemble fingerprint not registered");
+  t.fingerprint = cfg.ensemble;
+  if (cfg.cache_capacity > 0) t.cache.emplace(cfg.cache_capacity);
+  tenants_.push_back(std::move(t));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+void Server::stage_swap(TenantId t, std::uint64_t fingerprint) {
+  PMTE_CHECK(t < tenants_.size(), "Server::stage_swap: no such tenant");
+  tenants_[t].staged = fingerprint;
+  tenants_[t].has_staged = true;
+}
+
+void Server::apply_staged_swaps() {
+  std::vector<std::uint64_t> swapped_out;
+  for (auto& ten : tenants_) {
+    if (!ten.has_staged) continue;
+    auto next = registry_.find(ten.staged);
+    PMTE_CHECK(next != nullptr,
+               "Server::serve: staged swap targets an unregistered "
+               "ensemble fingerprint");
+    swapped_out.push_back(ten.fingerprint);
+    ten.ensemble = std::move(next);
+    ten.fingerprint = ten.staged;
+    ten.has_staged = false;
+    // A new epoch is a new stream: the cache restarts empty (its salt is
+    // bound to the old ensemble's identity anyway, so carrying entries
+    // over could only produce conflicts, never hits).
+    if (ten.cache) ten.cache->clear();
+    ++ten.counters.epoch;
+  }
+  // Retire drained epochs: a swapped-out fingerprint no tenant serves any
+  // more leaves the registry.  Only fingerprints that were actually
+  // flipped away from are candidates — ensembles loaded for a future swap
+  // are never collected out from under the operator.
+  std::sort(swapped_out.begin(), swapped_out.end());
+  swapped_out.erase(std::unique(swapped_out.begin(), swapped_out.end()),
+                    swapped_out.end());
+  for (const std::uint64_t fp : swapped_out) {
+    bool referenced = false;
+    for (const auto& ten : tenants_) referenced |= ten.fingerprint == fp;
+    if (!referenced && registry_.erase(fp)) ++retired_;
+  }
+}
+
+void Server::serve(std::span<const TenantQuery> batch,
+                   std::vector<Weight>& out) {
+  apply_staged_swaps();
+  if (router_.num_tenants() != tenants_.size()) {
+    router_.reset(static_cast<std::uint32_t>(tenants_.size()));
+  }
+  router_.route(batch);
+
+  // Parallel shard execution: one task per tenant, cost-balanced by the
+  // shard's aggregate volume.  Each tenant's query_batch detects the
+  // enclosing region and runs serially, so its outputs, cache state, and
+  // counters depend only on its own stream — never on which thread ran
+  // the shard or how many tenants share the batch.  (With a single
+  // tenant no region opens and query_batch parallelises internally —
+  // bit-identical either way by its own contract.)
+  const std::size_t nt = tenants_.size();
+  parallel_for_balanced(
+      nt,
+      [&](std::size_t t) {
+        return router_.shard(static_cast<TenantId>(t)).pairs.size() *
+               tenants_[t].ensemble->num_trees();
+      },
+      [&](std::size_t t) {
+        auto& shard = router_.shard(static_cast<TenantId>(t));
+        if (shard.pairs.empty()) return;
+        auto& ten = tenants_[t];
+        shard.stats = ten.ensemble->query_batch(
+            shard.pairs, ten.cfg.policy, shard.out,
+            ten.cache ? &*ten.cache : nullptr);
+      });
+
+  out.assign(batch.size(), 0.0);
+  router_.scatter(out);
+
+  // Serial counter fold, tenant id order: cumulative logical counts plus
+  // the running FNV-1a over this tenant's served doubles in stream order.
+  for (std::size_t t = 0; t < nt; ++t) {
+    const auto& shard = router_.shard(static_cast<TenantId>(t));
+    if (shard.pairs.empty()) continue;
+    auto& c = tenants_[t].counters;
+    ++c.batches;
+    c.pairs += shard.stats.pairs;
+    c.tree_lookups += shard.stats.tree_lookups;
+    c.lca_probes += shard.stats.lca_probes;
+    c.cache_hits += shard.stats.cache_hits;
+    c.cache_misses += shard.stats.cache_misses;
+    for (const Weight w : shard.out) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &w, sizeof(bits));
+      c.result_hash64 = fnv1a_fold(c.result_hash64, bits);
+    }
+  }
+}
+
+}  // namespace pmte::serve

@@ -1,0 +1,44 @@
+#include "src/serve/tenant_router.hpp"
+
+#include "src/util/assertions.hpp"
+
+namespace pmte::serve {
+
+void TenantRouter::reset(std::uint32_t tenants) {
+  shards_.resize(tenants);
+  for (auto& s : shards_) {
+    s.pairs.clear();
+    s.positions.clear();
+    s.out.clear();
+    s.stats = {};
+  }
+}
+
+void TenantRouter::route(std::span<const TenantQuery> batch) {
+  for (auto& s : shards_) {
+    s.pairs.clear();
+    s.positions.clear();
+    s.out.clear();
+    s.stats = {};
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const TenantQuery& q = batch[i];
+    PMTE_CHECK(q.tenant < shards_.size(),
+               "TenantRouter::route: tenant id out of range");
+    auto& s = shards_[q.tenant];
+    s.pairs.emplace_back(q.u, q.v);
+    s.positions.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void TenantRouter::scatter(std::vector<Weight>& out) const {
+  for (const auto& s : shards_) {
+    PMTE_CHECK(s.out.size() == s.positions.size(),
+               "TenantRouter::scatter: shard outputs not filled");
+    for (std::size_t j = 0; j < s.positions.size(); ++j) {
+      out[s.positions[j]] = s.out[j];
+    }
+  }
+}
+
+}  // namespace pmte::serve

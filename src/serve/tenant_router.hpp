@@ -1,0 +1,92 @@
+#pragma once
+// Shard-per-tenant routing of interleaved multi-tenant query streams.
+//
+// The many-tenant server (server.hpp) receives one interleaved stream of
+// (tenant, u, v) queries per batch.  Correctness and determinism require
+// that each tenant's queries execute *in their stream order* against that
+// tenant's state (its epoch's ensemble, its hot-pair cache), while
+// throughput requires that independent tenants execute concurrently.
+// TenantRouter separates the two concerns:
+//
+//   Routing     — route() is a SERIAL classification pass over the batch:
+//                 each query is appended to its tenant's shard (pairs in
+//                 tenant-stream order) together with its batch position.
+//                 Serial by design, exactly like HotPairCache admission:
+//                 shard contents become a pure function of the query
+//                 sequence, never of thread interleaving.
+//   Shards      — one TenantShard per tenant, owned by the router and
+//                 reused across batches (steady state allocates nothing
+//                 beyond high-water growth).  The shard also carries the
+//                 per-batch outputs and BatchStats its executor fills in.
+//   Scatter     — scatter() writes each shard's outputs back to the
+//                 original interleaved positions, serially.
+//
+// The router never touches an ensemble or a cache: execution belongs to
+// the server, which runs one shard per task under parallel_for_balanced.
+// Thread-safety: route()/scatter() are serial-phase only; between them,
+// distinct shards may be filled concurrently (disjoint state).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/serve/frt_ensemble.hpp"
+#include "src/util/types.hpp"
+
+namespace pmte::serve {
+
+/// Numeric tenant handle (dense, assigned by Server::add_tenant in order).
+using TenantId = std::uint32_t;
+
+/// One query of an interleaved multi-tenant stream.
+struct TenantQuery {
+  TenantId tenant = 0;
+  Vertex u = 0;
+  Vertex v = 0;
+};
+
+/// Per-tenant slice of one batch.  `pairs[j]` came from batch position
+/// `positions[j]`, and j increases in tenant-stream order; `out` and
+/// `stats` are filled by the executor (Server::serve) after route().
+struct TenantShard {
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  std::vector<std::uint32_t> positions;
+  std::vector<Weight> out;
+  FrtEnsemble::BatchStats stats;
+};
+
+class TenantRouter {
+ public:
+  TenantRouter() = default;
+
+  /// Size the router for `tenants` shards (existing shard buffers keep
+  /// their capacity).  Serial-phase only.
+  void reset(std::uint32_t tenants);
+
+  [[nodiscard]] std::uint32_t num_tenants() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Serial classification pass: split `batch` into per-tenant shards,
+  /// preserving each tenant's stream order.  PMTE_CHECKs that every
+  /// tenant id is < num_tenants().  Clears previous shard contents
+  /// (capacity retained) and resets each shard's stats.
+  void route(std::span<const TenantQuery> batch);
+
+  /// Shard of tenant `t` (valid until the next route()/reset()).
+  [[nodiscard]] TenantShard& shard(TenantId t) { return shards_[t]; }
+  [[nodiscard]] const TenantShard& shard(TenantId t) const {
+    return shards_[t];
+  }
+
+  /// Scatter every shard's outputs back into interleaved batch order:
+  /// out[positions[j]] = shard.out[j].  `out` must already be sized to the
+  /// routed batch; each shard's out must match its pairs.  Serial-phase
+  /// only (after the executors finished).
+  void scatter(std::vector<Weight>& out) const;
+
+ private:
+  std::vector<TenantShard> shards_;
+};
+
+}  // namespace pmte::serve

@@ -127,4 +127,44 @@ std::vector<std::pair<Vertex, Vertex>> make_workload(
   }
 }
 
+std::vector<TenantQuery> make_multi_tenant_workload(
+    const Graph& g, const std::vector<TenantStreamSpec>& specs,
+    std::uint64_t seed) {
+  PMTE_CHECK(!specs.empty(), "make_multi_tenant_workload: no tenant specs");
+  PMTE_CHECK(specs.size() < (std::uint64_t{1} << 32),
+             "make_multi_tenant_workload: too many tenants");
+
+  // Per-tenant substreams, each from its own split_seed stream so a
+  // tenant's queries never depend on the other tenants' specs.
+  std::vector<std::vector<std::pair<Vertex, Vertex>>> streams(specs.size());
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    Rng rng(split_seed(seed, kTenantWorkloadStreamBase + t));
+    streams[t] = make_workload(g, specs[t].kind, specs[t].opts, rng);
+    total += streams[t].size();
+  }
+
+  // Interleaving: Fisher–Yates over the multiset of tenant tags, from its
+  // own stream.  Consuming each tenant's substream in tag order preserves
+  // the substream's internal order exactly.
+  std::vector<TenantId> tags;
+  tags.reserve(total);
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    tags.insert(tags.end(), streams[t].size(), static_cast<TenantId>(t));
+  }
+  Rng shuffle_rng(split_seed(seed, kTenantInterleaveStream));
+  for (std::size_t i = tags.size(); i > 1; --i) {
+    std::swap(tags[i - 1], tags[shuffle_rng.below(i)]);
+  }
+
+  std::vector<TenantQuery> merged;
+  merged.reserve(total);
+  std::vector<std::size_t> next(specs.size(), 0);
+  for (const TenantId t : tags) {
+    const auto& [u, v] = streams[t][next[t]++];
+    merged.push_back(TenantQuery{t, u, v});
+  }
+  return merged;
+}
+
 }  // namespace pmte::serve

@@ -17,6 +17,12 @@
 // All generators draw only from the caller's Rng, so a (graph, kind, seed)
 // triple fixes the workload exactly — the bench gate and the thread-count
 // determinism tests replay identical pair lists.
+//
+// The multi-tenant generator composes single-tenant streams for the
+// many-tenant server (server.hpp): per-tenant substreams draw from
+// split_seed-derived streams and a separate seeded shuffle fixes the
+// interleaving, so both the interleaved batch and every tenant's
+// subsequence are pure functions of (graph, specs, seed).
 
 #include <cstdint>
 #include <string>
@@ -24,6 +30,7 @@
 #include <vector>
 
 #include "src/graph/graph.hpp"
+#include "src/serve/tenant_router.hpp"
 #include "src/util/rng.hpp"
 
 namespace pmte::serve {
@@ -37,10 +44,46 @@ struct WorkloadOptions {
   double zipf_s = 1.1;          ///< Zipf exponent (popularity skew)
 };
 
+/// Generate opts.pairs query pairs of the given shape, drawing only from
+/// `rng` — deterministic for a fixed (graph, kind, opts, rng state).
+/// Self-pairs (u == v) may occur; the serving layer answers them as 0.
 [[nodiscard]] std::vector<std::pair<Vertex, Vertex>> make_workload(
     const Graph& g, WorkloadKind kind, const WorkloadOptions& opts, Rng& rng);
 
+/// Parse "uniform" | "bfs_local" ("bfs") | "zipf"; PMTE_CHECK-fails on
+/// anything else.
 [[nodiscard]] WorkloadKind parse_workload(const std::string& name);
 [[nodiscard]] const char* workload_name(WorkloadKind kind) noexcept;
+
+// --- Multi-tenant interleaved streams --------------------------------------
+
+/// One tenant's substream inside an interleaved multi-tenant workload.
+struct TenantStreamSpec {
+  WorkloadKind kind = WorkloadKind::uniform;
+  WorkloadOptions opts;
+};
+
+/// split_seed stream ids of the multi-tenant generator.  Streams ≥ 2³² are
+/// reserved for non-tree consumers of a master seed (docs/ARCHITECTURE.md);
+/// 2³² itself is the single-workload stream of serve_queries, tenant t
+/// draws from kTenantWorkloadStreamBase + t, and the interleaving shuffle
+/// from kTenantInterleaveStream — no consumer ever shares a stream.
+inline constexpr std::uint64_t kTenantWorkloadStreamBase = std::uint64_t{1}
+                                                           << 33;
+inline constexpr std::uint64_t kTenantInterleaveStream =
+    (std::uint64_t{1} << 33) - 1;
+
+/// Interleaved multi-tenant query stream: tenant t's subsequence is
+/// exactly make_workload(g, specs[t], Rng(split_seed(seed,
+/// kTenantWorkloadStreamBase + t))) in order, and the positions of the
+/// tenants in the merged stream are a Fisher–Yates shuffle of the tenant
+/// tags drawn from kTenantInterleaveStream.  Total length = Σ
+/// specs[t].opts.pairs.  Deterministic in (g, specs, seed); per-tenant
+/// subsequences are independent of the other tenants' specs, so adding a
+/// tenant never perturbs existing streams' queries (only their
+/// interleaving).
+[[nodiscard]] std::vector<TenantQuery> make_multi_tenant_workload(
+    const Graph& g, const std::vector<TenantStreamSpec>& specs,
+    std::uint64_t seed);
 
 }  // namespace pmte::serve
