@@ -13,6 +13,9 @@
 // distances bit-for-bit (ungated, but any drift shows in the JSON diff).
 
 
+#include <cstdio>
+#include <fstream>
+
 #include "bench/bench_common.hpp"
 #include "src/parallel/counters.hpp"
 #include "src/serve/frt_ensemble.hpp"
@@ -78,15 +81,70 @@ CounterScenario cached_query_scenario(const std::string& name,
   const auto st = e.query_batch(workload, policy, out, &cache);
   // result_hash32 must equal the uncached scenario's hash for the same
   // workload — the cache changes the lookup counts, never the doubles.
-  // cache_hits is emitted ungated (more hits = better); cache_misses is
-  // gated like the lookup counters (growth = cache effectiveness lost).
+  // cache_hits is emitted ungated (more hits = better); cache_misses and
+  // its admission/conflict split are gated like the lookup counters
+  // (growth = cache effectiveness lost; conflicts growing alone = the hot
+  // set stopped fitting its slots).
   return CounterScenario{name,
                          {{"queries", st.pairs},
                           {"tree_lookups", st.tree_lookups},
                           {"lca_probes", st.lca_probes},
                           {"cache_hits", st.cache_hits},
                           {"cache_misses", st.cache_misses},
+                          {"cache_admissions", st.cache_admissions},
+                          {"cache_conflicts", st.cache_conflicts},
                           {"result_hash32", result_hash32(out)}}};
+}
+
+/// The load-path contract as counter scenarios: persist `e` once (format
+/// v3), load it back by stream copy and by mmap, and replay `pairs`
+/// uniform queries on each.  Both rows must reproduce the live ensemble's
+/// result_hash32; the mapped row's bulk_bytes_copied baseline is 0, so
+/// the gate fails on the first copied payload byte.
+std::vector<CounterScenario> load_scenarios(const serve::FrtEnsemble& e,
+                                            const Graph& g,
+                                            std::size_t pairs,
+                                            std::uint64_t seed) {
+  const std::string path = "bench_serve_load.tmp";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    e.save(out);
+  }
+  const auto replay_hash = [&](const serve::FrtEnsemble& loaded) {
+    Rng rng(seed);
+    serve::WorkloadOptions wopts;
+    wopts.pairs = pairs;
+    const auto workload =
+        serve::make_workload(g, serve::WorkloadKind::uniform, wopts, rng);
+    std::vector<Weight> out;
+    (void)loaded.query_batch(workload, serve::AggregatePolicy::min, out);
+    return result_hash32(out);
+  };
+
+  std::vector<CounterScenario> rows;
+  {
+    std::ifstream in(path, std::ios::binary);
+    serve::reset_load_path_counters();
+    const auto copied = serve::FrtEnsemble::load(in);
+    const auto lc = serve::load_path_counters();
+    rows.push_back(CounterScenario{
+        "serve_load_copied",
+        {{"sections_copied", lc.sections_copied},
+         {"bulk_bytes_copied", lc.bulk_bytes_copied},
+         {"result_hash32", replay_hash(copied)}}});
+  }
+  {
+    serve::reset_load_path_counters();
+    const auto mapped = serve::FrtEnsemble::load_mapped(path);
+    const auto lc = serve::load_path_counters();
+    rows.push_back(CounterScenario{
+        "serve_load_mapped",
+        {{"sections_mapped", lc.sections_mapped},
+         {"bulk_bytes_copied", lc.bulk_bytes_copied},
+         {"result_hash32", replay_hash(mapped)}}});
+  }
+  std::remove(path.c_str());
+  return rows;
 }
 
 void run_counters() {
@@ -121,6 +179,12 @@ void run_counters() {
       "serve_query_zipf_median_cached", served, gnm,
       serve::WorkloadKind::zipf, serve::AggregatePolicy::median, 200000,
       3004, /*capacity=*/1 << 15));
+  // Load-path rows: the stream copy pins its byte volume, the mmap row
+  // gates bulk_bytes_copied at 0, and both must reproduce
+  // serve_query_uniform_min's result_hash32 (same workload seed).
+  for (auto& s : load_scenarios(served, gnm, 200000, 3003)) {
+    scenarios.push_back(std::move(s));
+  }
   emit_counters(std::cout, scenarios);
 }
 

@@ -98,6 +98,10 @@ void run_counters() {
                                          {"lca_probes", c.lca_probes},
                                          {"cache_misses", c.cache_misses},
                                          {"cache_hits", c.cache_hits},
+                                         {"cache_admissions",
+                                          c.cache_admissions},
+                                         {"cache_conflicts",
+                                          c.cache_conflicts},
                                          {"epoch", c.epoch},
                                          {"result_hash32",
                                           c.result_hash32()}}});

@@ -30,9 +30,17 @@ query counters across interleaved streams and a mid-stream epoch
 hot-swap), and the application query paths — kmedian, buyatbulk,
 sketches (tree_node_visits = FrtTree pointer chases, zero on the flat
 serving paths; tree_lookups / lca_probes = flat index reads / RMQ probes).
-cache_hits and result_hash32 are emitted but deliberately NOT gated: hits
-growing is an improvement, and the hashes pin served values whose every
-drift should be reviewed in the JSON diff rather than thresholded.
+cache_conflicts (misses that bypassed the cache because another pair owns
+the slot) is gated like cache_misses: growth means the hot set stopped
+fitting.  bulk_bytes_copied gates the load path: the copied-load scenario
+pins how many payload bytes a stream load moves, and the mapped-load
+baseline is 0 — ANY copied byte on the mmap path fails the gate (a zero
+baseline allows zero growth), which is the zero-copy contract in CI form.
+cache_hits, sections_copied/sections_mapped, and result_hash32 are emitted
+but deliberately NOT gated: hits growing is an improvement, the section
+counts are structural (a format change legitimately moves them), and the
+hashes pin served values whose every drift should be reviewed in the JSON
+diff rather than thresholded.
 """
 
 import argparse
@@ -42,7 +50,8 @@ import sys
 GATED_METRICS = ("relaxations", "edges_touched", "work", "depth",
                  "iterations", "base_iterations",
                  "queries", "tree_lookups", "lca_probes",
-                 "tree_node_visits", "cache_misses")
+                 "tree_node_visits", "cache_misses", "cache_conflicts",
+                 "bulk_bytes_copied")
 
 
 def load_scenarios(path):

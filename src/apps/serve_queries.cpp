@@ -8,7 +8,7 @@
 //                   [--zipf-s=1.1] [--repeat=3]
 //                   [--cache] [--cache-capacity=65536]
 //                   [--save=FILE] [--load=FILE] [--threads=N] [--roundtrip]
-//                   [--stretch]
+//                   [--mmap] [--stretch]
 //                   [--tenants=N [--batches=8] [--swap-at=BATCH]]
 //
 // The embedding lifecycle end to end: sample k FRT trees (one master
@@ -17,6 +17,12 @@
 // format, then serve batched pair queries via the parallel batch API.
 // --roundtrip additionally pushes the ensemble through an in-memory
 // save→load cycle and fails loudly if anything changes.
+// --mmap switches the replay onto the zero-copy serving path: the
+// ensemble is mapped straight from a format-v3 artefact (--load/--save
+// when given, else a temp file written and unlinked on the spot), the
+// load-path counters must report zero bulk bytes copied, and the mapped
+// ensemble must compare equal to the built/loaded one before it takes
+// over — served doubles and counters are bit-identical either way.
 // --cache attaches a hot-pair cache to the replay (deterministic
 // first-touch admission; served values are bit-identical to the uncached
 // run, and the hit/miss counters are logical — thread-count independent).
@@ -37,6 +43,7 @@
 // count — the same quantities the CI gate pins in BENCH_server.json.
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -249,6 +256,53 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "round-trip OK (" << buf.str().size() << " bytes)\n";
+  }
+
+  // --- Zero-copy mmap serving path. --------------------------------------
+  if (cli.has("mmap")) {
+    // Map an existing artefact when one is on disk (--load, or the file
+    // --save just wrote — both must be v3 for the mapped reader);
+    // otherwise persist to a temp file named after the registry
+    // fingerprint and unlink it right after mapping (POSIX keeps the
+    // inode alive for the mapping's lifetime).
+    std::string map_path = !load_path.empty() ? load_path : save_path;
+    bool unlink_after = false;
+    if (map_path.empty()) {
+      map_path = "pmte_mmap_" + fp_hex(ensemble.registry_fingerprint()) +
+                 ".tmp";
+      std::ofstream tmp(map_path,
+                        std::ios::binary | std::ios::trunc);
+      if (!tmp) {
+        std::cerr << "cannot open " << map_path << " for writing\n";
+        return 1;
+      }
+      ensemble.save(tmp);
+      tmp.close();
+      unlink_after = true;
+    }
+    serve::reset_load_path_counters();
+    const Timer t;
+    auto mapped = serve::FrtEnsemble::load_mapped(map_path);
+    const double load_ms = t.millis();
+    if (unlink_after) std::remove(map_path.c_str());
+    const auto& lc = serve::load_path_counters();
+    std::cout << "mapped " << mapped.num_trees() << "-tree ensemble from "
+              << map_path << " in " << load_ms << " ms ("
+              << mapped.mapped_bytes() << " bytes mapped, "
+              << lc.sections_mapped << " sections mapped, "
+              << lc.sections_copied << " sections copied, "
+              << lc.bulk_bytes_copied << " bulk bytes copied)\n";
+    if (lc.bulk_bytes_copied != 0) {
+      std::cerr << "FATAL: mapped load copied bulk array bytes — the "
+                   "zero-copy contract is broken\n";
+      return 1;
+    }
+    if (!(mapped == ensemble)) {
+      std::cerr << "FATAL: mapped ensemble differs from the "
+                   "built/loaded one\n";
+      return 1;
+    }
+    ensemble = std::move(mapped);
   }
 
   // --- Many-tenant scenario (exclusive with the single-workload replay). --

@@ -1,6 +1,7 @@
 #include "src/serve/frt_ensemble.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -12,6 +13,95 @@
 #include "src/util/timer.hpp"
 
 namespace pmte::serve {
+
+namespace {
+
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
+/// Flat per-tree pointers for the batch kernel — one cheap array of these
+/// per batch keeps the hot loop free of FrtIndex indirection.  The
+/// pointers alias the indices' sections (owned or mapped), which outlive
+/// the batch.
+struct TreeView {
+  const std::uint32_t* sparse;       ///< RMQ table, row-major
+  const std::uint32_t* euler_level;  ///< tour position → level
+  std::size_t tour_len;              ///< sparse-table row stride
+  const Weight* dist_by_level;       ///< LCA level → dist_T
+};
+
+[[nodiscard]] std::vector<TreeView> tree_views(
+    const std::vector<FrtIndex>& indices) {
+  std::vector<TreeView> views(indices.size());
+  for (std::size_t t = 0; t < indices.size(); ++t) {
+    const FrtIndex& idx = indices[t];
+    views[t] = TreeView{idx.sparse_table().data(), idx.euler_levels().data(),
+                        idx.euler_levels().size(),
+                        idx.distance_by_lca_level().data()};
+  }
+  return views;
+}
+
+/// Per-thread workspace of the kernel: k distances plus the per-tree probe
+/// coordinates staged between the two phases.
+struct KernelScratch {
+  Weight* dist;               ///< k aggregation inputs, contiguous
+  const std::uint32_t** row;  ///< k sparse-table rows
+  std::uint32_t* lo;          ///< k left probe columns
+  std::uint32_t* hi;          ///< k right probe columns
+};
+
+/// The min-over-k / median-over-k aggregate for one u ≠ v pair, reading
+/// the SoA leaf positions.  Two phases over the trees: phase 1 computes
+/// every probe address and prefetches the two sparse-table words per tree
+/// (the only cache-cold reads — each tree's table is ~N·log N words);
+/// phase 2 consumes them and writes the k distances contiguously, so the
+/// min fold is a vectorizable horizontal reduction.  Fold order and
+/// values are identical to the scalar FrtIndex::distance path —
+/// bit-identical serving, just denser.
+[[nodiscard]] Weight aggregate_soa(const TreeView* tv, std::size_t k,
+                                   const std::uint32_t* pos_u,
+                                   const std::uint32_t* pos_v,
+                                   AggregatePolicy policy,
+                                   const KernelScratch& ws) {
+  for (std::size_t t = 0; t < k; ++t) {
+    std::uint32_t a = pos_u[t];
+    std::uint32_t b = pos_v[t];
+    if (a > b) std::swap(a, b);
+    const std::uint32_t len = b - a + 1;
+    const unsigned j = static_cast<unsigned>(std::bit_width(len)) - 1U;
+    const std::uint32_t* row =
+        tv[t].sparse + static_cast<std::size_t>(j) * tv[t].tour_len;
+    ws.row[t] = row;
+    ws.lo[t] = a;
+    ws.hi[t] = b + 1 - (std::uint32_t{1} << j);
+    prefetch_ro(row + a);
+    prefetch_ro(row + ws.hi[t]);
+  }
+  for (std::size_t t = 0; t < k; ++t) {
+    const std::uint32_t p1 = ws.row[t][ws.lo[t]];
+    const std::uint32_t p2 = ws.row[t][ws.hi[t]];
+    const std::uint32_t l1 = tv[t].euler_level[p1];
+    const std::uint32_t l2 = tv[t].euler_level[p2];
+    ws.dist[t] = tv[t].dist_by_level[l1 >= l2 ? l1 : l2];
+  }
+  if (policy == AggregatePolicy::min) {
+    Weight best = ws.dist[0];
+    for (std::size_t t = 1; t < k; ++t) best = std::min(best, ws.dist[t]);
+    return best;
+  }
+  // Upper median: stays a per-tree value (no averaging), and every tree
+  // dominates dist_G, so the served value does too.
+  std::nth_element(ws.dist, ws.dist + k / 2, ws.dist + k);
+  return ws.dist[k / 2];
+}
+
+}  // namespace
 
 AggregatePolicy parse_policy(const std::string& name) {
   if (name == "min") return AggregatePolicy::min;
@@ -41,6 +131,21 @@ std::uint64_t FrtEnsemble::fingerprint(const Graph& g) {
 std::uint64_t FrtEnsemble::registry_fingerprint() const noexcept {
   return serve::registry_fingerprint(kEnsembleMagic, master_seed_,
                                      graph_fingerprint_, indices_.size());
+}
+
+void FrtEnsemble::finalize_query_layout() {
+  const std::size_t k = indices_.size();
+  const std::size_t n = indices_.empty()
+                            ? 0
+                            : static_cast<std::size_t>(
+                                  indices_.front().num_leaves());
+  leaf_pos_soa_.assign(n * k, 0);
+  for (std::size_t t = 0; t < k; ++t) {
+    const auto lp = indices_[t].leaf_positions();
+    for (std::size_t v = 0; v < n; ++v) {
+      leaf_pos_soa_[v * k + t] = lp[v];
+    }
+  }
 }
 
 FrtEnsemble FrtEnsemble::build(const Graph& g, std::uint64_t master_seed,
@@ -101,31 +206,25 @@ FrtEnsemble FrtEnsemble::build(const Graph& g, std::uint64_t master_seed,
   e.stats_.relaxations = scope.relaxations_delta();
   e.stats_.edges_touched = scope.edges_touched_delta();
   e.stats_.seconds = timer.seconds();
+  e.finalize_query_layout();
   return e;
-}
-
-Weight FrtEnsemble::aggregate(Vertex u, Vertex v, AggregatePolicy policy,
-                              Weight* scratch) const {
-  const std::size_t k = indices_.size();
-  if (policy == AggregatePolicy::min) {
-    Weight best = indices_[0].distance(u, v);
-    for (std::size_t t = 1; t < k; ++t) {
-      best = std::min(best, indices_[t].distance(u, v));
-    }
-    return best;
-  }
-  for (std::size_t t = 0; t < k; ++t) scratch[t] = indices_[t].distance(u, v);
-  // Upper median: stays a per-tree value (no averaging), and every tree
-  // dominates dist_G, so the served value does too.
-  std::nth_element(scratch, scratch + k / 2, scratch + k);
-  return scratch[k / 2];
 }
 
 Weight FrtEnsemble::query(Vertex u, Vertex v, AggregatePolicy policy) const {
   PMTE_CHECK(!indices_.empty(), "FrtEnsemble::query: empty ensemble");
-  std::vector<Weight> scratch(
-      policy == AggregatePolicy::median ? indices_.size() : 0);
-  return aggregate(u, v, policy, scratch.data());
+  PMTE_CHECK(u < num_vertices() && v < num_vertices(),
+             "FrtEnsemble::query: vertex out of range");
+  if (u == v) return 0.0;
+  const std::size_t k = indices_.size();
+  const auto views = tree_views(indices_);
+  std::vector<Weight> dist(k);
+  std::vector<const std::uint32_t*> row(k);
+  std::vector<std::uint32_t> cols(2 * k);
+  const KernelScratch ws{dist.data(), row.data(), cols.data(),
+                         cols.data() + k};
+  return aggregate_soa(views.data(), k,
+                       leaf_pos_soa_.data() + std::size_t{u} * k,
+                       leaf_pos_soa_.data() + std::size_t{v} * k, policy, ws);
 }
 
 FrtEnsemble::BatchStats FrtEnsemble::query_batch(
@@ -137,14 +236,33 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
   const std::size_t k = indices_.size();
   out.assign(q, 0.0);
 
-  // Median scratch: one k-slot slice per thread, allocated once per batch.
-  const bool median = policy == AggregatePolicy::median;
-  std::vector<Weight> scratch(
-      median ? static_cast<std::size_t>(std::max(num_threads(), 1)) * k : 0);
-  auto thread_scratch = [&]() -> Weight* {
-    return median
-               ? scratch.data() + static_cast<std::size_t>(thread_index()) * k
-               : nullptr;
+  // Validate every pair *before* touching the cache or the parallel
+  // phases: probe() claims slots at classification time, and the kernel
+  // below indexes the SoA arrays unchecked.
+  const auto n = static_cast<Vertex>(indices_.front().num_leaves());
+  for (const auto& [u, v] : pairs) {
+    PMTE_CHECK(u < n && v < n,
+               "FrtEnsemble::query_batch: vertex out of range");
+  }
+
+  // Kernel workspace: one k-slot slice per thread, allocated once per
+  // batch; the per-tree TreeView table is shared read-only.
+  const auto views = tree_views(indices_);
+  const auto nthreads =
+      static_cast<std::size_t>(std::max(num_threads(), 1));
+  std::vector<Weight> dist_ws(nthreads * k);
+  std::vector<const std::uint32_t*> row_ws(nthreads * k);
+  std::vector<std::uint32_t> col_ws(nthreads * 2 * k);
+  auto compute = [&](Vertex u, Vertex v) -> Weight {
+    if (u == v) return 0.0;
+    const auto ti = static_cast<std::size_t>(thread_index());
+    const KernelScratch ws{dist_ws.data() + ti * k, row_ws.data() + ti * k,
+                           col_ws.data() + ti * 2 * k,
+                           col_ws.data() + ti * 2 * k + k};
+    return aggregate_soa(views.data(), k,
+                         leaf_pos_soa_.data() + std::size_t{u} * k,
+                         leaf_pos_soa_.data() + std::size_t{v} * k, policy,
+                         ws);
   };
 
   BatchStats stats;
@@ -154,8 +272,7 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
     parallel_for_balanced(
         q, [k](std::size_t) { return k; },
         [&](std::size_t i) {
-          out[i] = aggregate(pairs[i].first, pairs[i].second, policy,
-                             thread_scratch());
+          out[i] = compute(pairs[i].first, pairs[i].second);
         });
     // Logical costs: every pair consults every tree; each u ≠ v lookup is
     // exactly kLcaProbesPerQuery sparse-table probes (u==v short-circuits).
@@ -166,16 +283,7 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
     return stats;
   }
 
-  // Cached batch, three phases.  Validate every pair *before* the cache
-  // sees any of them: probe() claims a slot at classification time and the
-  // value lands only in phase 1, so an exception in between would leave a
-  // claimed-but-unfilled slot behind in the caller-owned cache — checked
-  // here, the phases below cannot throw.
-  const auto n = static_cast<Vertex>(indices_.front().num_leaves());
-  for (const auto& [u, v] : pairs) {
-    PMTE_CHECK(u < n && v < n,
-               "FrtEnsemble::query_batch: vertex out of range");
-  }
+  // Cached batch, three phases.
   // (0) A *serial* classification pass probes the cache per pair, so
   // admissions, counters, and cache state depend only on the query
   // sequence — never on thread interleaving.  The salt binds entries to
@@ -203,10 +311,12 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
         action[i] = Action::fill;
         fills.push_back(i);
         ++stats.cache_misses;
+        ++stats.cache_admissions;
         break;
       case HotPairCache::Outcome::bypass:
         action[i] = Action::bypass;
         ++stats.cache_misses;
+        ++stats.cache_conflicts;
         break;
     }
   }
@@ -217,14 +327,12 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
       fills.size(), [k](std::size_t) { return k; },
       [&](std::size_t f) {
         const std::size_t i = fills[f];
-        cache->set_value(slot[i], aggregate(pairs[i].first, pairs[i].second,
-                                            policy, thread_scratch()));
+        cache->set_value(slot[i],
+                         compute(pairs[i].first, pairs[i].second));
       });
 
   // (2) Serve: hits and fills read their slot (the exact double phase 1
   // stored — bit-identical to recomputing), bypasses compute directly.
-  std::uint64_t bypasses = 0;
-  for (std::size_t i = 0; i < q; ++i) bypasses += action[i] == Action::bypass;
   parallel_for_balanced(
       q,
       [&](std::size_t i) {
@@ -240,8 +348,7 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
             out[i] = cache->value(slot[i]);
             break;
           case Action::bypass:
-            out[i] = aggregate(pairs[i].first, pairs[i].second, policy,
-                               thread_scratch());
+            out[i] = compute(pairs[i].first, pairs[i].second);
             break;
         }
       });
@@ -249,22 +356,27 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
   // Logical costs: only computed aggregates consult the trees.  u == v
   // pairs short-circuit to 0.0 without lookups (the uncached path's k
   // zero-distance reads are equally free — both serve the same double).
-  stats.tree_lookups = (fills.size() + bypasses) * k;
-  stats.lca_probes =
-      (fills.size() + bypasses) * k * FrtIndex::kLcaProbesPerQuery;
+  stats.tree_lookups = (stats.cache_admissions + stats.cache_conflicts) * k;
+  stats.lca_probes = (stats.cache_admissions + stats.cache_conflicts) * k *
+                     FrtIndex::kLcaProbesPerQuery;
   return stats;
 }
 
-void FrtEnsemble::save(std::ostream& os) const {
-  BinaryWriter w(os);
+void FrtEnsemble::save(std::ostream& os, std::uint32_t version) const {
+  // One writer spans the whole artefact: section padding is computed from
+  // the absolute in-artefact offset, so the embedded index payloads stay
+  // 64-byte aligned for the mmap path.
+  BinaryWriter w(os, version);
   w.magic(kEnsembleMagic);
   w.u64(master_seed_);
   w.u64(graph_fingerprint_);
   w.u64(indices_.size());
-  for (const auto& idx : indices_) idx.save(os);
+  for (const auto& idx : indices_) idx.save_into(w);
 }
 
 FrtEnsemble FrtEnsemble::load(std::istream& is) {
+  // One reader spans the whole artefact: the stream size is probed once,
+  // and the running position drives the v3 padding arithmetic.
   BinaryReader r(is);
   r.expect_magic(kEnsembleMagic);
   FrtEnsemble e;
@@ -275,12 +387,44 @@ FrtEnsemble FrtEnsemble::load(std::istream& is) {
              "FrtEnsemble::load: implausible tree count");
   e.indices_.reserve(trees);
   for (std::uint64_t t = 0; t < trees; ++t) {
-    e.indices_.push_back(FrtIndex::load(is));
+    e.indices_.push_back(FrtIndex::load_from(r));
     PMTE_CHECK(e.indices_.back().num_leaves() ==
                    e.indices_.front().num_leaves(),
                "FrtEnsemble::load: indices disagree on the vertex set");
   }
+  e.finalize_query_layout();
   return e;
+}
+
+FrtEnsemble FrtEnsemble::load_mapped(MappedFile file) {
+  // Pin the mapping first: the index sections below are views into it,
+  // and the shared_ptr travels with the ensemble through moves and the
+  // registry, keeping the address range alive until the last reference
+  // drops.
+  auto mapping = std::make_shared<const MappedFile>(std::move(file));
+  MappedReader r(mapping->bytes());
+  r.expect_magic(kEnsembleMagic);
+  FrtEnsemble e;
+  e.mapping_ = std::move(mapping);
+  e.master_seed_ = r.u64();
+  e.graph_fingerprint_ = r.u64();
+  const std::uint64_t trees = r.u64();
+  PMTE_CHECK(trees >= 1 && trees <= (1ULL << 20),
+             "FrtEnsemble::load_mapped: implausible tree count");
+  e.indices_.reserve(trees);
+  for (std::uint64_t t = 0; t < trees; ++t) {
+    e.indices_.push_back(FrtIndex::load_mapped_from(r));
+    PMTE_CHECK(e.indices_.back().num_leaves() ==
+                   e.indices_.front().num_leaves(),
+               "FrtEnsemble::load_mapped: indices disagree on the vertex "
+               "set");
+  }
+  e.finalize_query_layout();
+  return e;
+}
+
+FrtEnsemble FrtEnsemble::load_mapped(const std::string& path) {
+  return load_mapped(MappedFile(path));
 }
 
 }  // namespace pmte::serve

@@ -35,10 +35,24 @@
 //                 thread count (see hot_pair_cache.hpp).
 //
 // save()/load() persist the whole ensemble (master seed + every index)
-// in the versioned binary format; round-trips are exact.
+// in the versioned binary format; round-trips are exact.  load_mapped()
+// mmaps a v3 artefact instead: every index's persisted arrays become
+// views into the file image (zero bulk bytes copied — the load-path
+// counters in serialize.hpp prove it) and only the derived tables are
+// rebuilt.  The ensemble owns the mapping via shared_ptr, so registry
+// entries, tenants, and copies of the shared_ptr keep it alive for as
+// long as any query can touch it; served doubles and all logical
+// counters are bit-identical between the two load paths.
+//
+// Query path layout: alongside the per-index arrays the ensemble keeps a
+// structure-of-arrays copy of the leaf tour positions (leaf_pos_soa_,
+// [vertex·k + tree]) so the min-over-k inner loop reads its k inputs
+// contiguously, plus a two-phase kernel that software-prefetches the k
+// sparse-table rows before consuming them (see frt_ensemble.cpp).
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -110,6 +124,12 @@ class FrtEnsemble {
   [[nodiscard]] const FrtIndex& index(std::size_t t) const {
     return indices_[t];
   }
+  /// Whether this ensemble serves straight from a file mapping.
+  [[nodiscard]] bool is_mapped() const noexcept { return mapping_ != nullptr; }
+  /// Size of the backing mapping in bytes (0 when not mapped).
+  [[nodiscard]] std::size_t mapped_bytes() const noexcept {
+    return mapping_ ? mapping_->size() : 0;
+  }
   [[nodiscard]] const EnsembleBuildStats& build_stats() const noexcept {
     return stats_;
   }
@@ -127,6 +147,8 @@ class FrtEnsemble {
     std::uint64_t lca_probes = 0;    ///< sparse-table probes (u≠v only)
     std::uint64_t cache_hits = 0;    ///< pairs served from the cache
     std::uint64_t cache_misses = 0;  ///< cacheable pairs computed
+    std::uint64_t cache_admissions = 0;  ///< misses that claimed a slot
+    std::uint64_t cache_conflicts = 0;   ///< misses bypassed (slot taken)
   };
 
   /// Answer `pairs` into `out` (resized to match) under `policy`, in
@@ -139,8 +161,17 @@ class FrtEnsemble {
                          AggregatePolicy policy, std::vector<Weight>& out,
                          HotPairCache* cache = nullptr) const;
 
-  void save(std::ostream& os) const;
+  /// Persist / restore through the versioned format (one position-tracking
+  /// writer/reader spans the whole artefact).  `version` exists for
+  /// compatibility fixtures — production saves use the default (v3).
+  void save(std::ostream& os, std::uint32_t version = kFormatVersion) const;
   [[nodiscard]] static FrtEnsemble load(std::istream& is);
+  /// Zero-copy load: mmap `path` (format v3 required) and point every
+  /// index's persisted arrays straight at the mapping; only the derived
+  /// tables are rebuilt.  The returned ensemble owns the mapping (shared,
+  /// so moves/copies through the registry keep it alive).
+  [[nodiscard]] static FrtEnsemble load_mapped(const std::string& path);
+  [[nodiscard]] static FrtEnsemble load_mapped(MappedFile file);
 
   friend bool operator==(const FrtEnsemble& a, const FrtEnsemble& b) {
     return a.master_seed_ == b.master_seed_ &&
@@ -149,13 +180,22 @@ class FrtEnsemble {
   }
 
  private:
-  [[nodiscard]] Weight aggregate(Vertex u, Vertex v, AggregatePolicy policy,
-                                 Weight* scratch) const;
+  /// Rebuild the derived structure-of-arrays query layout (leaf_pos_soa_).
+  /// Every path that produces a servable ensemble (build/load/load_mapped)
+  /// ends here.
+  void finalize_query_layout();
 
   std::vector<FrtIndex> indices_;
   std::uint64_t master_seed_ = 0;
   std::uint64_t graph_fingerprint_ = 0;
   EnsembleBuildStats stats_{};  // build-time only; not persisted
+  // Derived: leaf tour positions interleaved [vertex·k + tree] so the
+  // batch kernel's per-pair loop over trees reads contiguous words.
+  std::vector<std::uint32_t> leaf_pos_soa_;
+  // Keeps a mapped file image alive for the indices' views (null when the
+  // ensemble owns its arrays).  shared_ptr: registry entries and tenant
+  // references all pin the same mapping.
+  std::shared_ptr<const MappedFile> mapping_;
 };
 
 [[nodiscard]] AggregatePolicy parse_policy(const std::string& name);

@@ -18,42 +18,49 @@ FrtIndex FrtIndex::build(const FrtTree& tree) {
   idx.levels_ = tree.num_levels();
   idx.beta_ = tree.beta();
   idx.dist_by_lca_level_ = tree.distance_by_lca_level();
-  idx.edge_weight_by_level_.resize(idx.levels_);
+  // Build into plain vectors, then hand them to the owned-or-mapped
+  // sections once finished (ArraySection is read-only by design).
+  std::vector<Weight> edge_weight(idx.levels_);
   for (unsigned l = 0; l < idx.levels_; ++l) {
-    idx.edge_weight_by_level_[l] = tree.edge_weight(l);
+    edge_weight[l] = tree.edge_weight(l);
   }
+  idx.edge_weight_by_level_ = std::move(edge_weight);
 
-  idx.node_level_.resize(nodes);
-  idx.wdepth_.resize(nodes);
+  std::vector<std::uint32_t> node_level(nodes);
+  std::vector<Weight> wdepth(nodes);
   for (NodeId id = 0; id < nodes; ++id) {
     const auto& nd = tree.node(id);
-    idx.node_level_[id] = nd.level;
+    node_level[id] = nd.level;
     // Nodes are created top-down (parents precede children), so parents'
     // prefix sums are ready when a child is reached.
-    idx.wdepth_[id] = nd.parent == FrtTree::invalid_node
-                          ? 0.0
-                          : idx.wdepth_[nd.parent] + nd.parent_edge;
+    wdepth[id] = nd.parent == FrtTree::invalid_node
+                     ? 0.0
+                     : wdepth[nd.parent] + nd.parent_edge;
   }
+  idx.node_level_ = std::move(node_level);
+  idx.wdepth_ = std::move(wdepth);
 
   // Euler tour: visit a node, recurse into each child, revisit after each
   // return → 2·nodes − 1 positions.  Iterative via an explicit stack of
   // (node, next-child) frames; tree height is num_levels so the stack is
   // tiny, but the explicit form also records revisit positions naturally.
   const std::size_t tour_len = 2 * nodes - 1;
-  idx.euler_node_.reserve(tour_len);
-  idx.euler_level_.reserve(tour_len);
-  idx.leaf_pos_.assign(tree.num_leaves(), 0);
+  std::vector<std::uint32_t> euler_node;
+  std::vector<std::uint32_t> euler_level;
+  euler_node.reserve(tour_len);
+  euler_level.reserve(tour_len);
+  std::vector<std::uint32_t> leaf_pos(tree.num_leaves(), 0);
   std::vector<std::pair<NodeId, std::size_t>> stack;
   stack.reserve(idx.levels_ + 1);
   stack.emplace_back(tree.root(), 0);
   auto visit = [&](NodeId id) {
     const auto& nd = tree.node(id);
     if (nd.leaf_vertex != no_vertex()) {
-      idx.leaf_pos_[nd.leaf_vertex] =
-          static_cast<std::uint32_t>(idx.euler_node_.size());
+      leaf_pos[nd.leaf_vertex] =
+          static_cast<std::uint32_t>(euler_node.size());
     }
-    idx.euler_node_.push_back(id);
-    idx.euler_level_.push_back(nd.level);
+    euler_node.push_back(id);
+    euler_level.push_back(nd.level);
   };
   visit(tree.root());
   while (!stack.empty()) {
@@ -68,8 +75,11 @@ FrtIndex FrtIndex::build(const FrtTree& tree) {
     stack.emplace_back(child, 0);
     visit(child);
   }
-  PMTE_CHECK(idx.euler_node_.size() == tour_len,
+  PMTE_CHECK(euler_node.size() == tour_len,
              "FrtIndex: malformed Euler tour");
+  idx.euler_node_ = std::move(euler_node);
+  idx.euler_level_ = std::move(euler_level);
+  idx.leaf_pos_ = std::move(leaf_pos);
 
   idx.build_sparse_table();
   idx.build_structure_maps();
@@ -258,8 +268,7 @@ void FrtIndex::validate() const {
 }
 
 // Field order is normative — docs/FORMAT.md documents this exact layout.
-void FrtIndex::save(std::ostream& os) const {
-  BinaryWriter w(os);
+void FrtIndex::save_into(BinaryWriter& w) const {
   w.magic(kIndexMagic);
   w.u32(levels_);
   w.f64(beta_);
@@ -272,8 +281,18 @@ void FrtIndex::save(std::ostream& os) const {
   w.vec_f64(edge_weight_by_level_);
 }
 
-FrtIndex FrtIndex::load(std::istream& is) {
-  BinaryReader r(is);
+void FrtIndex::save(std::ostream& os, std::uint32_t version) const {
+  BinaryWriter w(os, version);
+  save_into(w);
+}
+
+void FrtIndex::finish_load() {
+  validate();
+  build_sparse_table();
+  build_structure_maps();
+}
+
+FrtIndex FrtIndex::load_from(BinaryReader& r) {
   r.expect_magic(kIndexMagic);
   FrtIndex idx;
   idx.levels_ = r.u32();
@@ -285,10 +304,33 @@ FrtIndex FrtIndex::load(std::istream& is) {
   idx.leaf_pos_ = r.vec_u32();
   idx.dist_by_lca_level_ = r.vec_f64();
   idx.edge_weight_by_level_ = r.vec_f64();
-  idx.validate();
-  idx.build_sparse_table();
-  idx.build_structure_maps();
+  idx.finish_load();
   return idx;
+}
+
+FrtIndex FrtIndex::load_mapped_from(MappedReader& r) {
+  r.expect_magic(kIndexMagic);
+  FrtIndex idx;
+  idx.levels_ = r.u32();
+  idx.beta_ = r.f64();
+  // The bulk arrays stay in the file image — zero bytes copied; only the
+  // derived tables below (sparse RMQ, CSR, leaf maps) allocate.
+  using U32Section = ArraySection<std::uint32_t>;
+  using F64Section = ArraySection<Weight>;
+  idx.node_level_ = U32Section::mapped(r.view_u32());
+  idx.wdepth_ = F64Section::mapped(r.view_f64());
+  idx.euler_node_ = U32Section::mapped(r.view_u32());
+  idx.euler_level_ = U32Section::mapped(r.view_u32());
+  idx.leaf_pos_ = U32Section::mapped(r.view_u32());
+  idx.dist_by_lca_level_ = F64Section::mapped(r.view_f64());
+  idx.edge_weight_by_level_ = F64Section::mapped(r.view_f64());
+  idx.finish_load();
+  return idx;
+}
+
+FrtIndex FrtIndex::load(std::istream& is) {
+  BinaryReader r(is);
+  return load_from(r);
 }
 
 }  // namespace pmte::serve

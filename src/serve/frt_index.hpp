@@ -50,7 +50,12 @@
 // save()/load() persist every non-derived array through the versioned
 // binary format of serialize.hpp (normative layout: docs/FORMAT.md); the
 // sparse table and the CSR/leaf-vertex maps are rebuilt deterministically
-// on load, so save→load→save is byte-identical.
+// on load, so save→load→save is byte-identical.  The persisted arrays are
+// ArraySections — owned vectors after build() or a stream load, zero-copy
+// views into a file mapping after load_mapped_from() (only the derived
+// tables are materialised then; the mapping's owner keeps it alive, see
+// FrtEnsemble).  Queries read through the view either way, so served
+// doubles are bit-identical between the two load paths.
 
 #include <cstdint>
 #include <iosfwd>
@@ -58,6 +63,7 @@
 #include <vector>
 
 #include "src/frt/frt_tree.hpp"
+#include "src/serve/serialize.hpp"
 #include "src/util/types.hpp"
 
 namespace pmte::serve {
@@ -81,6 +87,10 @@ class FrtIndex {
   [[nodiscard]] unsigned num_levels() const noexcept { return levels_; }
   [[nodiscard]] double beta() const noexcept { return beta_; }
   [[nodiscard]] bool empty() const noexcept { return node_level_.empty(); }
+  /// Whether the persisted arrays view a file mapping (zero-copy load).
+  [[nodiscard]] bool is_mapped() const noexcept {
+    return node_level_.is_mapped();
+  }
 
   /// Tree distance between the leaves of u and v — O(1), two sparse-table
   /// probes (kLcaProbesPerQuery), no per-query allocation.  Bit-identical
@@ -104,7 +114,7 @@ class FrtIndex {
   }
   /// The full LCA-level distance table (levels_ entries, strictly
   /// increasing; entry 0 is 0.0).
-  [[nodiscard]] const std::vector<Weight>& distance_by_lca_level()
+  [[nodiscard]] std::span<const Weight> distance_by_lca_level()
       const noexcept {
     return dist_by_lca_level_;
   }
@@ -147,6 +157,21 @@ class FrtIndex {
     return euler_level_;
   }
 
+  // --- Query-kernel internals (FrtEnsemble's SoA batch kernel) -----------
+
+  /// Per-vertex leaf tour positions (vertex → tour position).
+  [[nodiscard]] std::span<const std::uint32_t> leaf_positions()
+      const noexcept {
+    return leaf_pos_;
+  }
+  /// The RMQ sparse table, row-major with stride euler_levels().size():
+  /// row j, column i holds the tour position of the max level in
+  /// [i, i + 2^j).  Derived (never persisted) and rebuilt on every load.
+  [[nodiscard]] std::span<const std::uint32_t> sparse_table()
+      const noexcept {
+    return sparse_;
+  }
+
   /// Sparse-table probes per u ≠ v distance query (u == v costs none).
   /// bench_serve's deterministic counters are multiples of this.
   static constexpr std::uint64_t kLcaProbesPerQuery = 2;
@@ -155,11 +180,24 @@ class FrtIndex {
   /// wdepth consistency with dist_by_lca_level_).  Throws on violation.
   void validate() const;
 
-  void save(std::ostream& os) const;
+  /// Persist / restore through the versioned format.  The writer/reader
+  /// variants share one position-tracking writer across an enclosing
+  /// artefact (FrtEnsemble embeds k index artefacts in one file); the
+  /// stream variants wrap them for standalone files.  `version` exists for
+  /// compatibility fixtures — production saves use the default.
+  void save(std::ostream& os, std::uint32_t version = kFormatVersion) const;
+  void save_into(BinaryWriter& w) const;
   [[nodiscard]] static FrtIndex load(std::istream& is);
+  [[nodiscard]] static FrtIndex load_from(BinaryReader& r);
+  /// Zero-copy load: the persisted arrays become views into the reader's
+  /// image; only the derived tables (sparse RMQ, children CSR, leaf maps)
+  /// are materialised.  The caller owns the backing memory and must keep
+  /// it alive for the index's lifetime (FrtEnsemble holds the MappedFile).
+  [[nodiscard]] static FrtIndex load_mapped_from(MappedReader& r);
 
   /// Equality over the persisted state (derived tables excluded — they are
-  /// a function of it).  Backs the round-trip tests.
+  /// a function of it).  Backs the round-trip tests; sections compare by
+  /// content, so a mapped index equals its by-copy twin.
   friend bool operator==(const FrtIndex& a, const FrtIndex& b) {
     return a.levels_ == b.levels_ && a.beta_ == b.beta_ &&
            a.node_level_ == b.node_level_ && a.wdepth_ == b.wdepth_ &&
@@ -174,6 +212,8 @@ class FrtIndex {
   /// range spanned by a and b (the LCA when a, b are leaf positions).
   [[nodiscard]] std::uint32_t lca_pos(std::uint32_t a, std::uint32_t b) const;
 
+  /// Validate + rebuild every derived table (shared load tail).
+  void finish_load();
   /// (Re)derive the sparse table from the Euler arrays.
   void build_sparse_table();
   /// (Re)derive the children CSR and leaf-vertex map from the tour.
@@ -181,13 +221,15 @@ class FrtIndex {
 
   unsigned levels_ = 1;
   double beta_ = 1.0;
-  std::vector<std::uint32_t> node_level_;        // node → level
-  std::vector<Weight> wdepth_;                   // node → root-path weight
-  std::vector<std::uint32_t> euler_node_;        // tour position → node
-  std::vector<std::uint32_t> euler_level_;       // tour position → level
-  std::vector<std::uint32_t> leaf_pos_;          // vertex → tour position
-  std::vector<Weight> dist_by_lca_level_;        // LCA level → dist_T
-  std::vector<Weight> edge_weight_by_level_;     // level → parent-edge weight
+  // Persisted arrays: owned after build()/load(), mapped views after
+  // load_mapped_from() (see ArraySection).
+  ArraySection<std::uint32_t> node_level_;   // node → level
+  ArraySection<Weight> wdepth_;              // node → root-path weight
+  ArraySection<std::uint32_t> euler_node_;   // tour position → node
+  ArraySection<std::uint32_t> euler_level_;  // tour position → level
+  ArraySection<std::uint32_t> leaf_pos_;     // vertex → tour position
+  ArraySection<Weight> dist_by_lca_level_;   // LCA level → dist_T
+  ArraySection<Weight> edge_weight_by_level_;  // level → parent-edge weight
   // Derived, rebuilt on load: row j holds, per position i, the tour
   // position of the max level in [i, i + 2^j); row-major, stride = tour
   // length.

@@ -66,7 +66,11 @@ class HotPairCache {
     return stats_;
   }
 
-  /// Drop all entries and counters (capacity retained).
+  /// Drop all entries and counters (capacity retained) — a full stream
+  /// restart, e.g. at an epoch hot-swap.  Callers needing counters that
+  /// survive resets must fold stats() (or the per-batch BatchStats) into
+  /// their own ledger before clearing; Server does this every batch, so
+  /// its TenantCounters stay cumulative across swaps.
   void clear();
 
   /// Normalised cache key of an unordered pair; `salt` separates logical

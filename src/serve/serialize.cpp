@@ -1,23 +1,50 @@
 #include "src/serve/serialize.hpp"
 
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "src/util/assertions.hpp"
 #include "src/util/rng.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define PMTE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PMTE_HAVE_MMAP 0
+#endif
+
 namespace pmte::serve {
+
+namespace {
+
+/// Padding bytes needed to advance `pos` to the next section boundary.
+[[nodiscard]] constexpr std::size_t section_pad(std::uint64_t pos) noexcept {
+  return static_cast<std::size_t>((kSectionAlign - pos % kSectionAlign) %
+                                  kSectionAlign);
+}
+
+}  // namespace
 
 std::uint64_t registry_fingerprint(const char (&magic)[8],
                                    std::uint64_t master_seed,
                                    std::uint64_t graph_fingerprint,
                                    std::uint64_t tree_count) noexcept {
-  // Fold the serialized prelude word by word: the 8 magic bytes as one
-  // little-endian-in-memory u64, then the header/identity words in the
-  // order BinaryWriter emits them.
+  // Fold the serialized prelude word by word: the 8 magic bytes packed
+  // explicitly little-endian (byte i into bits 8i — NOT a native-order
+  // memcpy, which would make the fingerprint differ between hosts of
+  // opposite endianness), then the header/identity words in the order
+  // BinaryWriter emits them.
   std::uint64_t magic_word = 0;
-  std::memcpy(&magic_word, magic, sizeof(magic_word));
+  for (std::size_t i = 0; i < sizeof(magic); ++i) {
+    magic_word |= static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(magic[i]))
+                  << (8 * i);
+  }
   std::uint64_t hash = fnv1a_fold(kFnv1aInit, magic_word);
   hash = fnv1a_fold(hash, kEndianProbe);
   hash = fnv1a_fold(hash, kFormatVersion);
@@ -26,35 +53,83 @@ std::uint64_t registry_fingerprint(const char (&magic)[8],
   return fnv1a_fold(hash, tree_count);
 }
 
+LoadPathCounters& load_path_counters() noexcept {
+  static LoadPathCounters counters;
+  return counters;
+}
+
+void reset_load_path_counters() noexcept {
+  load_path_counters() = LoadPathCounters{};
+}
+
+// --- BinaryWriter ----------------------------------------------------------
+
+BinaryWriter::BinaryWriter(std::ostream& os, std::uint32_t version)
+    : os_(os), version_(version) {
+  PMTE_CHECK(version >= kMinFormatVersion && version <= kFormatVersion,
+             "serve serialisation: writer version out of supported range");
+}
+
 void BinaryWriter::bytes(const void* data, std::size_t n) {
+  if (n == 0) return;  // data may be null for an empty array
   os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
   PMTE_CHECK(os_.good(), "serve serialisation: write failed");
+  pos_ += n;
+}
+
+void BinaryWriter::pad_to_section() {
+  if (version_ < 3) return;
+  static constexpr char kZeros[kSectionAlign] = {};
+  bytes(kZeros, section_pad(pos_));
 }
 
 void BinaryWriter::magic(const char (&m)[8]) {
   bytes(m, sizeof(m));
   u32(kEndianProbe);
-  u32(kFormatVersion);
+  u32(version_);
 }
 
 void BinaryWriter::u32(std::uint32_t v) { bytes(&v, sizeof(v)); }
 void BinaryWriter::u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
 void BinaryWriter::f64(double v) { bytes(&v, sizeof(v)); }
 
-void BinaryWriter::vec_u32(const std::vector<std::uint32_t>& v) {
+void BinaryWriter::vec_u32(std::span<const std::uint32_t> v) {
   u64(v.size());
+  pad_to_section();
   bytes(v.data(), v.size() * sizeof(std::uint32_t));
 }
 
-void BinaryWriter::vec_f64(const std::vector<double>& v) {
+void BinaryWriter::vec_f64(std::span<const double> v) {
   u64(v.size());
+  pad_to_section();
   bytes(v.data(), v.size() * sizeof(double));
 }
 
+// --- BinaryReader ----------------------------------------------------------
+
+BinaryReader::BinaryReader(std::istream& is) : is_(is) {
+  // One size probe per load: remember how many bytes lie between here and
+  // the stream end, then track the running position — vec reads validate
+  // their length prefix against (remaining_ - pos_) without any further
+  // tellg/seekg round-trips.
+  const auto cur = is_.tellg();
+  if (cur != std::istream::pos_type(-1)) {
+    is_.seekg(0, std::ios::end);
+    const auto end = is_.tellg();
+    is_.seekg(cur);
+    if (end != std::istream::pos_type(-1) && end >= cur) {
+      remaining_ = static_cast<std::uint64_t>(end - cur);
+      size_known_ = true;
+    }
+  }
+}
+
 void BinaryReader::bytes(void* data, std::size_t n) {
+  if (n == 0) return;  // data may be null for an empty array
   is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
   PMTE_CHECK(static_cast<std::size_t>(is_.gcount()) == n,
              "serve serialisation: truncated input");
+  pos_ += n;
 }
 
 void BinaryReader::expect_magic(const char (&m)[8]) {
@@ -66,8 +141,12 @@ void BinaryReader::expect_magic(const char (&m)[8]) {
   PMTE_CHECK(u32() == kEndianProbe,
              "serve serialisation: endianness mismatch");
   const std::uint32_t version = u32();
-  PMTE_CHECK(version == kFormatVersion,
+  PMTE_CHECK(version >= kMinFormatVersion && version <= kFormatVersion,
              "serve serialisation: unsupported format version");
+  PMTE_CHECK(version_ == 0 || version_ == version,
+             "serve serialisation: artefacts in one file disagree on the "
+             "format version");
+  version_ = version;
 }
 
 std::uint32_t BinaryReader::u32() {
@@ -88,18 +167,20 @@ double BinaryReader::f64() {
   return v;
 }
 
+void BinaryReader::skip_section_padding() {
+  PMTE_CHECK(version_ != 0,
+             "serve serialisation: array read before any magic");
+  if (version_ < 3) return;
+  char sink[kSectionAlign];
+  bytes(sink, section_pad(pos_));  // content ignored; writers zero it
+}
+
 void BinaryReader::check_capacity(std::uint64_t n, std::size_t elem_size) {
-  const auto cur = is_.tellg();
-  if (cur != std::istream::pos_type(-1)) {
-    is_.seekg(0, std::ios::end);
-    const auto end = is_.tellg();
-    is_.seekg(cur);
-    if (end != std::istream::pos_type(-1) && end >= cur) {
-      const auto remaining = static_cast<std::uint64_t>(end - cur);
-      PMTE_CHECK(n <= remaining / elem_size,
-                 "serve serialisation: length prefix exceeds remaining input");
-      return;
-    }
+  if (size_known_) {
+    const std::uint64_t avail = remaining_ - pos_;
+    PMTE_CHECK(n <= avail / elem_size,
+               "serve serialisation: length prefix exceeds remaining input");
+    return;
   }
   // Non-seekable stream: fall back to a hard cap (2^28 elements ≈ 2 GiB
   // of doubles — far above any real index, far below an OOM-killer trip).
@@ -108,18 +189,187 @@ void BinaryReader::check_capacity(std::uint64_t n, std::size_t elem_size) {
 
 std::vector<std::uint32_t> BinaryReader::vec_u32() {
   const std::uint64_t n = u64();
+  skip_section_padding();
   check_capacity(n, sizeof(std::uint32_t));
   std::vector<std::uint32_t> v(n);
   bytes(v.data(), v.size() * sizeof(std::uint32_t));
+  load_path_counters().bulk_bytes_copied += n * sizeof(std::uint32_t);
+  ++load_path_counters().sections_copied;
   return v;
 }
 
 std::vector<double> BinaryReader::vec_f64() {
   const std::uint64_t n = u64();
+  skip_section_padding();
   check_capacity(n, sizeof(double));
   std::vector<double> v(n);
   bytes(v.data(), v.size() * sizeof(double));
+  load_path_counters().bulk_bytes_copied += n * sizeof(double);
+  ++load_path_counters().sections_copied;
   return v;
+}
+
+// --- MappedFile ------------------------------------------------------------
+
+MappedFile::MappedFile(const std::string& path) {
+#if PMTE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  PMTE_CHECK(fd >= 0, "MappedFile: cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    PMTE_CHECK(false, "MappedFile: cannot stat (or empty file) " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the inode alive
+  PMTE_CHECK(addr != MAP_FAILED, "MappedFile: mmap failed for " + path);
+  addr_ = addr;
+  size_ = size;
+#else
+  // No mmap on this platform: read the file into a heap buffer whose base
+  // is aligned to kSectionAlign, so MappedReader's alignment contract (and
+  // the spans handed out) hold identically.  Not zero-copy — the load-path
+  // counters still report sections as mapped because the *sections* are
+  // views; the one-time whole-file read is the platform tax.
+  std::ifstream in(path, std::ios::binary);
+  PMTE_CHECK(in.good(), "MappedFile: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  PMTE_CHECK(end > 0, "MappedFile: cannot stat (or empty file) " + path);
+  const auto size = static_cast<std::size_t>(end);
+  in.seekg(0);
+  fallback_.resize(size + kSectionAlign);
+  // pmte-lint: allow(pointer-hash-order: alignment adjustment of a fresh buffer, no ordering/hash on the value)
+  const auto raw = reinterpret_cast<std::uintptr_t>(fallback_.data());
+  const std::size_t mis = raw % kSectionAlign;
+  auto* base = fallback_.data() + (mis != 0 ? kSectionAlign - mis : 0);
+  in.read(reinterpret_cast<char*>(base), static_cast<std::streamsize>(size));
+  PMTE_CHECK(static_cast<std::size_t>(in.gcount()) == size,
+             "MappedFile: short read of " + path);
+  addr_ = base;
+  size_ = size;
+#endif
+}
+
+void MappedFile::unmap() noexcept {
+#if PMTE_HAVE_MMAP
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+#endif
+  addr_ = nullptr;
+  size_ = 0;
+  fallback_.clear();
+}
+
+MappedFile::~MappedFile() { unmap(); }
+
+MappedFile::MappedFile(MappedFile&& o) noexcept
+    : addr_(o.addr_), size_(o.size_), fallback_(std::move(o.fallback_)) {
+  o.addr_ = nullptr;
+  o.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this != &o) {
+    unmap();
+    addr_ = o.addr_;
+    size_ = o.size_;
+    fallback_ = std::move(o.fallback_);
+    o.addr_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+// --- MappedReader ----------------------------------------------------------
+
+MappedReader::MappedReader(std::span<const std::byte> image)
+    : base_(image.data()), size_(image.size()) {
+  PMTE_CHECK(base_ != nullptr && size_ > 0,
+             "MappedReader: empty image");
+  // The zero-copy views below derive their element alignment from the
+  // base being section-aligned; mmap's page alignment always satisfies
+  // this, a sub-span or hand-built buffer might not.
+  // pmte-lint: allow(pointer-hash-order: alignment probe of a fixed base, no ordering/hash on the value)
+  PMTE_CHECK(reinterpret_cast<std::uintptr_t>(base_) % kSectionAlign == 0,
+             "MappedReader: image base is not 64-byte aligned");
+}
+
+void MappedReader::bytes(void* data, std::size_t n) {
+  PMTE_CHECK(n <= size_ - pos_, "serve serialisation: truncated input");
+  if (n == 0) return;
+  std::memcpy(data, base_ + pos_, n);
+  pos_ += n;
+}
+
+void MappedReader::expect_magic(const char (&m)[8]) {
+  char got[8];
+  bytes(got, sizeof(got));
+  PMTE_CHECK(std::memcmp(got, m, sizeof(got)) == 0,
+             "serve serialisation: bad magic (not a serving-layer file, or "
+             "the wrong artefact kind)");
+  PMTE_CHECK(u32() == kEndianProbe,
+             "serve serialisation: endianness mismatch");
+  const std::uint32_t version = u32();
+  PMTE_CHECK(version >= 3 && version <= kFormatVersion,
+             "serve serialisation: mapped load requires format v3 "
+             "(re-save with the current writer, or load by stream)");
+  PMTE_CHECK(version_ == 0 || version_ == version,
+             "serve serialisation: artefacts in one file disagree on the "
+             "format version");
+  version_ = version;
+}
+
+std::uint32_t MappedReader::u32() {
+  std::uint32_t v;
+  bytes(&v, sizeof(v));
+  return v;
+}
+
+std::uint64_t MappedReader::u64() {
+  std::uint64_t v;
+  bytes(&v, sizeof(v));
+  return v;
+}
+
+double MappedReader::f64() {
+  double v;
+  bytes(&v, sizeof(v));
+  return v;
+}
+
+void MappedReader::skip_section_padding() {
+  PMTE_CHECK(version_ != 0,
+             "serve serialisation: array read before any magic");
+  const std::size_t pad = section_pad(pos_);
+  PMTE_CHECK(pad <= size_ - pos_, "serve serialisation: truncated input");
+  pos_ += pad;
+}
+
+std::span<const std::uint32_t> MappedReader::view_u32() {
+  const std::uint64_t n = u64();
+  skip_section_padding();
+  PMTE_CHECK(pos_ % kSectionAlign == 0,
+             "serve serialisation: misaligned v3 section");
+  PMTE_CHECK(n <= (size_ - pos_) / sizeof(std::uint32_t),
+             "serve serialisation: length prefix exceeds remaining input");
+  const auto* p = reinterpret_cast<const std::uint32_t*>(base_ + pos_);
+  pos_ += n * sizeof(std::uint32_t);
+  ++load_path_counters().sections_mapped;
+  return {p, static_cast<std::size_t>(n)};
+}
+
+std::span<const double> MappedReader::view_f64() {
+  const std::uint64_t n = u64();
+  skip_section_padding();
+  PMTE_CHECK(pos_ % kSectionAlign == 0,
+             "serve serialisation: misaligned v3 section");
+  PMTE_CHECK(n <= (size_ - pos_) / sizeof(double),
+             "serve serialisation: length prefix exceeds remaining input");
+  const auto* p = reinterpret_cast<const double*>(base_ + pos_);
+  pos_ += n * sizeof(double);
+  ++load_path_counters().sections_mapped;
+  return {p, static_cast<std::size_t>(n)};
 }
 
 }  // namespace pmte::serve

@@ -10,12 +10,25 @@
 // mis-reading them.  Bumping kFormatVersion invalidates old files — the
 // reader refuses anything it does not understand rather than guessing.
 //
-// The normative byte-level specification (field order, rejection rules,
-// version history) lives in docs/FORMAT.md; keep the two in sync when
-// changing anything here or in FrtIndex/FrtEnsemble::save.
+// Since v3 every array payload is aligned to a 64-byte file offset (the
+// length prefix is followed by zero padding).  That buys the zero-copy
+// path: MappedFile mmaps an artefact and MappedReader returns spans that
+// point straight into the mapping — cache-line- (and therefore element-)
+// aligned, so FrtIndex can serve off the file image without copying a
+// byte.  v2 files (unpadded) stay readable through the stream reader;
+// the mmap path requires v3.
+//
+// The normative byte-level specification (field order, alignment rules,
+// rejection rules, version history) lives in docs/FORMAT.md; keep the two
+// in sync when changing anything here or in FrtIndex/FrtEnsemble::save.
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
+#include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/types.hpp"
@@ -29,7 +42,19 @@ namespace pmte::serve {
 ///       (edge_weight_by_level, appended after dist_by_lca_level) so the
 ///       apps' flat tree walks never consult FrtTree.  v1 files are
 ///       refused, not migrated.
-inline constexpr std::uint32_t kFormatVersion = 2;
+///   3 — every vec payload is preceded by zero padding to a 64-byte file
+///       offset, enabling the zero-copy mmap load path.  Field order and
+///       values are unchanged; v2 files remain readable (stream path).
+inline constexpr std::uint32_t kFormatVersion = 3;
+
+/// Oldest version the stream reader still accepts.  v2 differs from v3
+/// only by the absence of section padding, so one reader serves both.
+inline constexpr std::uint32_t kMinFormatVersion = 2;
+
+/// File-offset alignment of every vec payload since v3.  One cache line,
+/// and a multiple of every element size we serialise — mmap returns
+/// page-aligned bases, so a 64-byte file offset is a 64-byte address.
+inline constexpr std::size_t kSectionAlign = 64;
 
 /// Endianness probe written after each magic; reads back differently when
 /// the producing machine's byte order does not match.
@@ -39,42 +64,162 @@ inline constexpr char kIndexMagic[8] = {'P', 'M', 'T', 'E', 'I', 'D', 'X', '1'};
 inline constexpr char kEnsembleMagic[8] = {'P', 'M', 'T', 'E', 'E', 'N', 'S', '1'};
 
 /// Registry fingerprint of a serving artefact: 64-bit FNV-1a over the
-/// words of its serialized v2 prelude — the 16-byte header (magic bytes,
+/// words of its serialized prelude — the 16-byte header (magic bytes,
 /// endian probe, format version) followed by the identity words that open
 /// the payload (for an ensemble: master seed, graph fingerprint, tree
 /// count).  Two artefacts share a fingerprint iff they agree on artefact
 /// kind, format version, source graph, master seed, and tree count — the
 /// exact tuple that makes a deterministic build reproducible — so the
 /// fingerprint is a content identity, not a file hash: it is the same
-/// whether the ensemble was just built or reloaded from disk.  The
-/// many-tenant server keys its EnsembleRegistry on this value
-/// (src/serve/server.hpp); docs/FORMAT.md documents the derivation.
-/// Callers pass the identity words in serialized order.
+/// whether the ensemble was just built or reloaded from disk.  The magic
+/// bytes fold as an explicitly little-endian word, so the value is
+/// host-independent (test_server pins it).  The many-tenant server keys
+/// its EnsembleRegistry on this value (src/serve/server.hpp);
+/// docs/FORMAT.md documents the derivation.  Callers pass the identity
+/// words in serialized order.
 [[nodiscard]] std::uint64_t registry_fingerprint(
     const char (&magic)[8], std::uint64_t master_seed,
     std::uint64_t graph_fingerprint, std::uint64_t tree_count) noexcept;
 
+/// Deterministic accounting of the load path: how many vec-section payload
+/// bytes were memcpy'd into owned storage versus served straight from a
+/// mapping.  A mapped load of the five bulk FrtIndex arrays must report
+/// zero copied bytes — bench_serve emits these counters and the CI gate
+/// pins them (BENCH_serve.json).  Process-wide and NOT synchronised: loads
+/// are single-threaded, reset before measuring.
+struct LoadPathCounters {
+  std::uint64_t bulk_bytes_copied = 0;  ///< vec payload bytes copied
+  std::uint64_t sections_copied = 0;    ///< vec sections read by copy
+  std::uint64_t sections_mapped = 0;    ///< vec sections served zero-copy
+};
+[[nodiscard]] LoadPathCounters& load_path_counters() noexcept;
+void reset_load_path_counters() noexcept;
+
+/// Owned-or-mapped read-only array.  The serving indices store their
+/// persisted arrays through this: a loaded-by-copy (or freshly built)
+/// section owns a vector; a mapped section views the file image and owns
+/// nothing.  Copying always deep-copies into owned storage (so copies
+/// never dangle when a mapping goes away); moving preserves the view
+/// (std::vector's move keeps the heap buffer alive).  Equality compares
+/// contents, mirroring the vector semantics it replaces.
+template <typename T>
+class ArraySection {
+ public:
+  ArraySection() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): vector is the natural source
+  ArraySection(std::vector<T> own) noexcept
+      : own_(std::move(own)), view_(own_) {}
+
+  /// A section viewing externally owned memory (the caller keeps the
+  /// backing mapping alive for the section's lifetime).
+  [[nodiscard]] static ArraySection mapped(std::span<const T> view) noexcept {
+    ArraySection s;
+    s.view_ = view;
+    return s;
+  }
+
+  ArraySection(const ArraySection& o) : own_(o.begin(), o.end()), view_(own_) {}
+  ArraySection& operator=(const ArraySection& o) {
+    if (this != &o) {
+      own_.assign(o.begin(), o.end());
+      view_ = own_;
+    }
+    return *this;
+  }
+  ArraySection(ArraySection&& o) noexcept
+      : own_(std::move(o.own_)), view_(o.view_) {
+    o.view_ = {};
+    o.own_.clear();
+  }
+  ArraySection& operator=(ArraySection&& o) noexcept {
+    if (this != &o) {
+      own_ = std::move(o.own_);
+      view_ = o.view_;
+      o.view_ = {};
+      o.own_.clear();
+    }
+    return *this;
+  }
+  ~ArraySection() = default;
+
+  [[nodiscard]] std::span<const T> view() const noexcept { return view_; }
+  // NOLINTNEXTLINE(google-explicit-constructor): sections read as spans
+  operator std::span<const T>() const noexcept { return view_; }
+  [[nodiscard]] const T* data() const noexcept { return view_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return view_.empty(); }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return view_[i]; }
+  [[nodiscard]] const T& front() const { return view_.front(); }
+  [[nodiscard]] const T* begin() const noexcept { return view_.data(); }
+  [[nodiscard]] const T* end() const noexcept {
+    return view_.data() + view_.size();
+  }
+  /// Whether the section views memory it does not own (a file mapping).
+  [[nodiscard]] bool is_mapped() const noexcept {
+    return view_.data() != nullptr && view_.data() != own_.data();
+  }
+
+  friend bool operator==(const ArraySection& a, const ArraySection& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<T> own_;
+  std::span<const T> view_;
+};
+
 class BinaryWriter {
  public:
-  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+  /// Writes `version` headers and, for version ≥ 3, section padding.
+  /// Writing an old version is supported only down to kMinFormatVersion
+  /// (compatibility fixtures; production writers use the default).  The
+  /// writer must start at the artefact's first byte: padding is computed
+  /// from the bytes written so far, so artefacts meant for mmap must
+  /// start at file offset 0.
+  explicit BinaryWriter(std::ostream& os,
+                        std::uint32_t version = kFormatVersion);
 
   void magic(const char (&m)[8]);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void f64(double v);
-  void vec_u32(const std::vector<std::uint32_t>& v);
-  void vec_f64(const std::vector<double>& v);
+  void vec_u32(std::span<const std::uint32_t> v);
+  void vec_f64(std::span<const double> v);
+  void vec_u32(std::initializer_list<std::uint32_t> v) {
+    vec_u32(std::span<const std::uint32_t>(v.begin(), v.size()));
+  }
+  void vec_f64(std::initializer_list<double> v) {
+    vec_f64(std::span<const double>(v.begin(), v.size()));
+  }
+
+  /// Bytes written since construction (= offset within the artefact).
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
 
  private:
   void bytes(const void* data, std::size_t n);
+  /// Zero-fill up to the next kSectionAlign boundary (version ≥ 3).
+  void pad_to_section();
   std::ostream& os_;
+  std::uint64_t pos_ = 0;
+  std::uint32_t version_;
 };
 
 /// Reader with hard validation: every primitive read PMTE_CHECKs that the
-/// stream still has bytes; magic/probe/version mismatches throw.
+/// stream still has bytes; magic/probe/version mismatches throw.  The
+/// remaining stream size is probed ONCE at construction (one tellg/seekg
+/// round-trip for the whole load, not one per array) and tracked against a
+/// running position from then on; corrupt length prefixes are rejected
+/// before any allocation.  Accepts versions kMinFormatVersion through
+/// kFormatVersion; all magics within one artefact must agree on the
+/// version.  Like the writer, construct it at the artefact's first byte.
 class BinaryReader {
  public:
-  explicit BinaryReader(std::istream& is) : is_(is) {}
+  explicit BinaryReader(std::istream& is);
 
   void expect_magic(const char (&m)[8]);
   [[nodiscard]] std::uint32_t u32();
@@ -83,13 +228,83 @@ class BinaryReader {
   [[nodiscard]] std::vector<std::uint32_t> vec_u32();
   [[nodiscard]] std::vector<double> vec_f64();
 
+  /// Format version of the artefact (0 until the first expect_magic).
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+
  private:
   void bytes(void* data, std::size_t n);
+  /// Consume padding up to the next kSectionAlign boundary (version ≥ 3).
+  void skip_section_padding();
   /// Reject a length prefix that cannot fit in the remaining stream
   /// *before* allocating for it (a corrupt length must fail like a
   /// truncation, not as a multi-gigabyte bad_alloc).
   void check_capacity(std::uint64_t n, std::size_t elem_size);
   std::istream& is_;
+  std::uint64_t pos_ = 0;        ///< bytes consumed since construction
+  std::uint64_t remaining_ = 0;  ///< bytes from construction to stream end
+  bool size_known_ = false;      ///< false on non-seekable streams
+  std::uint32_t version_ = 0;    ///< pinned by the first expect_magic
+};
+
+/// RAII read-only file mapping (POSIX mmap; on platforms without it the
+/// file is read into an aligned heap buffer instead, preserving the API at
+/// the cost of the copy).  The mapped address stays valid across moves —
+/// spans into the mapping survive as long as some MappedFile owns it.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  /// Map `path` read-only; throws (PMTE_CHECK) on open/map failure or an
+  /// empty file.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& o) noexcept;
+  MappedFile& operator=(MappedFile&& o) noexcept;
+
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return static_cast<const std::byte*>(addr_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data(), size_};
+  }
+
+ private:
+  void unmap() noexcept;
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<std::byte> fallback_;  ///< non-POSIX: owned aligned copy
+};
+
+/// Zero-copy reader over a mapped (or in-memory) artefact image.  Scalar
+/// reads memcpy a few bytes; view_u32/view_f64 return spans pointing
+/// straight into the buffer and copy nothing.  Requires format v3 — only
+/// v3 guarantees the 64-byte payload alignment the views rely on — and a
+/// 64-byte-aligned base (mmap's page alignment always satisfies this).
+/// The caller keeps the backing memory alive for as long as the returned
+/// views are in use.
+class MappedReader {
+ public:
+  explicit MappedReader(std::span<const std::byte> image);
+
+  void expect_magic(const char (&m)[8]);
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::span<const std::uint32_t> view_u32();
+  [[nodiscard]] std::span<const double> view_f64();
+
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+
+ private:
+  void bytes(void* data, std::size_t n);
+  void skip_section_padding();
+  const std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  std::uint32_t version_ = 0;
 };
 
 }  // namespace pmte::serve

@@ -66,7 +66,10 @@ void Server::apply_staged_swaps() {
     ten.has_staged = false;
     // A new epoch is a new stream: the cache restarts empty (its salt is
     // bound to the old ensemble's identity anyway, so carrying entries
-    // over could only produce conflicts, never hits).
+    // over could only produce conflicts, never hits).  The tenant's
+    // cumulative ledger is unaffected — every batch folds its admission /
+    // conflict counts into TenantCounters before any reset can happen, so
+    // pre-swap contributions are never lost.
     if (ten.cache) ten.cache->clear();
     ++ten.counters.epoch;
   }
@@ -130,6 +133,8 @@ void Server::serve(std::span<const TenantQuery> batch,
     c.lca_probes += shard.stats.lca_probes;
     c.cache_hits += shard.stats.cache_hits;
     c.cache_misses += shard.stats.cache_misses;
+    c.cache_admissions += shard.stats.cache_admissions;
+    c.cache_conflicts += shard.stats.cache_conflicts;
     for (const Weight w : shard.out) {
       std::uint64_t bits;
       std::memcpy(&bits, &w, sizeof(bits));

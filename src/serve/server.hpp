@@ -119,6 +119,11 @@ struct TenantCounters {
   std::uint64_t lca_probes = 0;    ///< sparse-table probes
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Misses split by slot outcome, folded per batch into this ledger —
+  /// cumulative across epochs, so they survive the cache reset at a
+  /// hot-swap (the cache's own stats() restart with each epoch).
+  std::uint64_t cache_admissions = 0;  ///< misses that claimed a slot
+  std::uint64_t cache_conflicts = 0;   ///< misses bypassed (slot taken)
   std::uint64_t epoch = 0;         ///< completed hot-swaps (0 = first epoch)
   std::uint64_t result_hash64 = kFnv1aInit;
 

@@ -1,0 +1,363 @@
+// Format v3 + zero-copy load path: section alignment invariants, v2
+// compatibility, loader hostility (truncation, bad magic, endianness,
+// unknown versions, corrupt lengths, shaved padding, misaligned bases) on
+// BOTH the stream and the mmap path, and a corpus-wide differential that
+// pins mapped and copied loads to bit-identical served doubles and
+// logical counters at several thread counts.  The registry/swap lifetime
+// test leans on ASan: any read of a retired mapping is a use-after-free.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/parallel/parallel.hpp"
+#include "src/serve/frt_ensemble.hpp"
+#include "src/serve/frt_index.hpp"
+#include "src/serve/serialize.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/workloads.hpp"
+#include "src/util/rng.hpp"
+#include "tests/support/fixtures.hpp"
+
+namespace pmte {
+namespace {
+
+serve::EnsembleOptions tiny_options(std::size_t trees) {
+  serve::EnsembleOptions opts;
+  opts.trees = trees;
+  opts.pipeline = serve::EnsemblePipeline::direct;
+  return opts;
+}
+
+/// Serialized bytes of an ensemble at a given format version.
+std::string save_bytes(const serve::FrtEnsemble& e,
+                       std::uint32_t version = serve::kFormatVersion) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  e.save(buf, version);
+  return buf.str();
+}
+
+serve::FrtEnsemble load_stream(const std::string& bytes) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << bytes;
+  return serve::FrtEnsemble::load(buf);
+}
+
+/// Write bytes to a temp file (current dir; ctest runs each suite in its
+/// own process, so the suite-unique names below never collide).
+class TempFile {
+ public:
+  TempFile(std::string name, const std::string& bytes)
+      : path_(std::move(name)) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Both load paths must reject the image (the mapped path may reject at
+/// mapping time already, e.g. for an empty file).
+void expect_rejected_both(const std::string& bytes, const std::string& why) {
+  EXPECT_THROW((void)load_stream(bytes), std::logic_error) << why;
+  const TempFile f("test_serialize_hostile.tmp", bytes);
+  EXPECT_THROW((void)serve::FrtEnsemble::load_mapped(f.path()),
+               std::logic_error)
+      << why;
+}
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(num_threads()) {}
+  ~ThreadGuard() { set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+constexpr std::size_t kPad64Base = 64;
+std::size_t pad64(std::size_t pos) {
+  return (kPad64Base - pos % kPad64Base) % kPad64Base;
+}
+
+TEST(Serialize, PrimitivesAndEmptyArraysRoundTrip) {
+  // The writer/reader primitives, including the n == 0 edge: an empty
+  // array's data() may be null, and neither side may touch it (the v3
+  // padding is still emitted, keeping the layout walkable).
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  serve::BinaryWriter w(buf);
+  w.magic(serve::kIndexMagic);
+  w.u32(7);
+  w.u64(0xfeedfacecafebeefULL);
+  w.f64(2.5);
+  w.vec_u32(std::vector<std::uint32_t>{});
+  w.vec_f64({1.5, -2.25});
+  w.vec_u32({3, 2, 1});
+
+  serve::BinaryReader r(buf);
+  r.expect_magic(serve::kIndexMagic);
+  EXPECT_EQ(r.version(), serve::kFormatVersion);
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 0xfeedfacecafebeefULL);
+  EXPECT_EQ(r.f64(), 2.5);
+  EXPECT_TRUE(r.vec_u32().empty());
+  EXPECT_EQ(r.vec_f64(), (std::vector<double>{1.5, -2.25}));
+  EXPECT_EQ(r.vec_u32(), (std::vector<std::uint32_t>{3, 2, 1}));
+}
+
+TEST(Serialize, V3PayloadsSitAt64ByteOffsetsWithZeroPadding) {
+  const auto g = test::support_graph("gnm", 48, 51);
+  const auto e = serve::FrtEnsemble::build(g, 51, tiny_options(2));
+  const std::string bytes = save_bytes(e);
+
+  // Walk the normative layout (docs/FORMAT.md): ensemble prelude, then
+  // per index the scalar block and seven length-prefixed sections whose
+  // payloads must each start at a 64-byte file offset, preceded by zero
+  // padding only.
+  // Prelude: magic block(16) + master seed(8) + graph fingerprint(8) +
+  // tree count(8).
+  std::size_t pos = 16 + 8 + 8 + 8;
+  std::uint64_t trees = 0;
+  std::memcpy(&trees, bytes.data() + 16 + 8 + 8, sizeof(trees));
+  ASSERT_EQ(trees, 2u);
+  const std::size_t elem[7] = {4, 8, 4, 4, 4, 8, 8};
+  for (std::uint64_t t = 0; t < trees; ++t) {
+    pos += 16 + 4 + 8;  // index magic block + levels + beta
+    for (const std::size_t es : elem) {
+      std::uint64_t len = 0;
+      ASSERT_LE(pos + 8, bytes.size());
+      std::memcpy(&len, bytes.data() + pos, sizeof(len));
+      pos += 8;
+      const std::size_t pad = pad64(pos);
+      for (std::size_t i = 0; i < pad; ++i) {
+        ASSERT_EQ(bytes[pos + i], '\0') << "padding byte not zero";
+      }
+      pos += pad;
+      EXPECT_EQ(pos % 64, 0u) << "payload misaligned";
+      pos += static_cast<std::size_t>(len) * es;
+    }
+  }
+  EXPECT_EQ(pos, bytes.size()) << "layout walk must consume the artefact";
+}
+
+TEST(Serialize, V2ArtefactsStayLoadableAndEquivalent) {
+  // The previous on-disk generation (unpadded) loads through the stream
+  // reader and yields the exact same ensemble; the mmap path refuses it
+  // (only v3 guarantees the alignment the views need).
+  const auto g = test::support_graph("geometric", 40, 53);
+  const auto e = serve::FrtEnsemble::build(g, 53, tiny_options(3));
+  const std::string v2 = save_bytes(e, 2);
+  const std::string v3 = save_bytes(e);
+  EXPECT_LT(v2.size(), v3.size()) << "v2 must be the unpadded layout";
+
+  const auto from_v2 = load_stream(v2);
+  const auto from_v3 = load_stream(v3);
+  EXPECT_TRUE(from_v2 == e);
+  EXPECT_TRUE(from_v3 == e);
+  EXPECT_EQ(from_v2.registry_fingerprint(), e.registry_fingerprint());
+
+  const TempFile f("test_serialize_v2.tmp", v2);
+  EXPECT_THROW((void)serve::FrtEnsemble::load_mapped(f.path()),
+               std::logic_error);
+}
+
+TEST(Serialize, HostileImagesAreRejectedOnBothPaths) {
+  const auto g = test::support_graph("gnm", 40, 57);
+  const auto e = serve::FrtEnsemble::build(g, 57, tiny_options(2));
+  const std::string good = save_bytes(e);
+  ASSERT_TRUE(load_stream(good) == e) << "baseline artefact must load";
+
+  // Truncations at a spread of prefix lengths, including 0, mid-header,
+  // mid-padding, mid-payload, and one byte short.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{20}, std::size_t{70},
+        std::size_t{100}, good.size() / 3, good.size() / 2,
+        good.size() - 9, good.size() - 1}) {
+    expect_rejected_both(good.substr(0, keep),
+                         "truncated to " + std::to_string(keep));
+  }
+
+  // Wrong artefact kind / corrupted magic byte.
+  std::string bad = good;
+  bad[0] = 'X';
+  expect_rejected_both(bad, "corrupt magic");
+
+  // Opposite-endianness probe (a byte-swapped u32 at offset 8).
+  bad = good;
+  std::swap(bad[8], bad[11]);
+  std::swap(bad[9], bad[10]);
+  expect_rejected_both(bad, "foreign endianness");
+
+  // Versions outside [kMinFormatVersion, kFormatVersion].
+  for (const std::uint32_t v : {std::uint32_t{1}, std::uint32_t{4}}) {
+    bad = good;
+    std::memcpy(bad.data() + 12, &v, sizeof(v));
+    expect_rejected_both(bad, "version " + std::to_string(v));
+  }
+
+  // Oversized length prefix on the first vec section (ensemble prelude 40
+  // bytes + index magic block 16 + levels 4 + beta 8).
+  bad = good;
+  const std::uint64_t absurd = 1ULL << 33;
+  std::memcpy(bad.data() + 40 + 16 + 4 + 8, &absurd, sizeof(absurd));
+  expect_rejected_both(bad, "absurd length prefix");
+
+  // Shaved padding: removing 8 zero bytes from the first padding run
+  // desyncs every later offset; both readers must fail closed, not serve
+  // shifted garbage.  The first prefix ends at 76, so padding runs to the
+  // next 64-byte boundary (128).
+  ASSERT_EQ(good[76], '\0') << "layout drifted; fix the padding offset";
+  bad = good.substr(0, 76) + good.substr(84);
+  expect_rejected_both(bad, "shaved section padding");
+}
+
+TEST(Serialize, MappedReaderRequiresAlignedBase) {
+  const auto g = test::support_graph("gnm", 32, 59);
+  const auto e = serve::FrtEnsemble::build(g, 59, tiny_options(2));
+  const TempFile f("test_serialize_align.tmp", save_bytes(e));
+  const serve::MappedFile file(f.path());
+  // A misaligned base violates the constructor contract outright.
+  EXPECT_THROW(serve::MappedReader r(file.bytes().subspan(1)),
+               std::logic_error);
+  // An aligned interior base is structurally valid but is not an
+  // artefact start — the magic check fires.
+  ASSERT_GT(file.size(), std::size_t{128});
+  serve::MappedReader interior(file.bytes().subspan(64));
+  EXPECT_THROW(interior.expect_magic(serve::kEnsembleMagic),
+               std::logic_error);
+}
+
+TEST(Serialize, MappedAndCopiedLoadsAgreeAcrossCorpusAndThreads) {
+  // The tentpole differential: over a 50-graph corpus, the mmap load must
+  // (a) copy zero bulk payload bytes, (b) compare equal to the stream
+  // load, and (c) serve bit-identical doubles with identical logical
+  // counters at 1/2/8 threads.
+  const auto corpus = test::serve_graph_corpus(50, 6101);
+  ThreadGuard guard;
+  std::uint64_t total_mapped_sections = 0;
+  for (const auto& c : corpus) {
+    const auto built =
+        serve::FrtEnsemble::build(c.graph, c.seed, tiny_options(2));
+    const TempFile f("test_serialize_diff.tmp", save_bytes(built));
+
+    serve::reset_load_path_counters();
+    const auto copied = load_stream(save_bytes(built));
+    const auto copy_counters = serve::load_path_counters();
+    EXPECT_GT(copy_counters.bulk_bytes_copied, 0u) << c.name;
+    EXPECT_GT(copy_counters.sections_copied, 0u) << c.name;
+    EXPECT_EQ(copy_counters.sections_mapped, 0u) << c.name;
+
+    serve::reset_load_path_counters();
+    const auto mapped = serve::FrtEnsemble::load_mapped(f.path());
+    const auto map_counters = serve::load_path_counters();
+    EXPECT_EQ(map_counters.bulk_bytes_copied, 0u) << c.name;
+    EXPECT_EQ(map_counters.sections_copied, 0u) << c.name;
+    EXPECT_EQ(map_counters.sections_mapped, copy_counters.sections_copied)
+        << c.name;
+    total_mapped_sections += map_counters.sections_mapped;
+
+    EXPECT_TRUE(mapped.is_mapped()) << c.name;
+    EXPECT_GT(mapped.mapped_bytes(), 0u) << c.name;
+    EXPECT_TRUE(mapped.index(0).is_mapped()) << c.name;
+    EXPECT_FALSE(copied.is_mapped()) << c.name;
+    EXPECT_TRUE(mapped == copied) << c.name;
+    EXPECT_TRUE(mapped == built) << c.name;
+    EXPECT_EQ(mapped.registry_fingerprint(), built.registry_fingerprint())
+        << c.name;
+
+    // Query differential: same pairs, both policies, several thread
+    // counts — outputs bitwise equal, counters identical.
+    const Vertex n = c.graph.num_vertices();
+    Rng qrng(c.seed + 23);
+    std::vector<std::pair<Vertex, Vertex>> pairs;
+    for (int i = 0; i < 128; ++i) {
+      pairs.emplace_back(static_cast<Vertex>(qrng.below(n)),
+                         static_cast<Vertex>(qrng.below(n)));
+    }
+    for (const auto policy :
+         {serve::AggregatePolicy::min, serve::AggregatePolicy::median}) {
+      for (const int threads : {1, 2, 8}) {
+        set_num_threads(threads);
+        std::vector<Weight> out_copied, out_mapped;
+        const auto s_copied = copied.query_batch(pairs, policy, out_copied);
+        const auto s_mapped = mapped.query_batch(pairs, policy, out_mapped);
+        ASSERT_EQ(out_copied.size(), out_mapped.size());
+        EXPECT_EQ(std::memcmp(out_copied.data(), out_mapped.data(),
+                              out_copied.size() * sizeof(Weight)),
+                  0)
+            << c.name << " threads=" << threads;
+        EXPECT_EQ(s_copied.tree_lookups, s_mapped.tree_lookups) << c.name;
+        EXPECT_EQ(s_copied.lca_probes, s_mapped.lca_probes) << c.name;
+      }
+    }
+  }
+  // 7 sections per index, 2 indices per ensemble, 50 ensembles.
+  EXPECT_EQ(total_mapped_sections, 7u * 2u * 50u);
+}
+
+TEST(Serialize, MappedEnsembleSurvivesRegistrySwapAndFileUnlink) {
+  // Lifetime contract under ASan: the mapping must stay valid while any
+  // registry entry or tenant serves from it — across the backing file
+  // being unlinked, a copy (which deep-copies into owned storage), an
+  // epoch hot-swap, and retirement from the registry.
+  const auto g = test::support_graph("gnm", 64, 61);
+  const auto built = serve::FrtEnsemble::build(g, 61, tiny_options(2));
+  const auto replacement =
+      serve::FrtEnsemble::build(g, 62, tiny_options(2));
+
+  serve::Server server;
+  std::uint64_t fp_mapped = 0;
+  {
+    const TempFile f("test_serialize_life.tmp", save_bytes(built));
+    auto mapped = serve::FrtEnsemble::load_mapped(f.path());
+    // A deep copy owns its arrays — it must outlive the mapping on its
+    // own (checked implicitly: we query it after retirement below).
+    fp_mapped = server.load(std::move(mapped));
+  }  // backing file unlinked here; the mapping keeps the inode alive
+
+  const std::uint64_t fp_new = server.load(replacement);
+  serve::TenantConfig cfg;
+  cfg.ensemble = fp_mapped;
+  cfg.cache_capacity = 64;
+  const auto t0 = server.add_tenant(cfg);
+
+  const auto specs = std::vector<serve::TenantStreamSpec>{
+      {serve::WorkloadKind::uniform, {}}};
+  auto stream = serve::make_multi_tenant_workload(g, specs, 61);
+  std::vector<Weight> out_mapped_epoch, out_new_epoch;
+  server.serve(stream, out_mapped_epoch);
+
+  // Flip away: the mapped epoch drains and retires from the registry —
+  // its shared_ptr (and the mapping) die here.  Serving afterwards must
+  // not touch freed memory.
+  server.stage_swap(t0, fp_new);
+  server.serve(stream, out_new_epoch);
+  EXPECT_FALSE(server.registry().contains(fp_mapped));
+  EXPECT_EQ(server.epochs_retired(), 1u);
+
+  // The post-swap epoch serves the replacement's values.
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  for (const auto& q : stream) pairs.emplace_back(q.u, q.v);
+  std::vector<Weight> expect_new;
+  serve::HotPairCache fresh(64);
+  (void)replacement.query_batch(pairs, serve::AggregatePolicy::min,
+                                expect_new, &fresh);
+  ASSERT_EQ(out_new_epoch.size(), expect_new.size());
+  EXPECT_EQ(std::memcmp(out_new_epoch.data(), expect_new.data(),
+                        expect_new.size() * sizeof(Weight)),
+            0);
+}
+
+}  // namespace
+}  // namespace pmte

@@ -267,14 +267,24 @@ TEST(FrtIndex, LoadRejectsAliasedLeafPositions) {
   std::string bytes = buf.str();
   // Layout: magic block(16) + levels(4) + beta(8), then the length-
   // prefixed vectors node_level_(u32×N), wdepth_(f64×N),
-  // euler_node_/euler_level_(u32×(2N−1) each), leaf_pos_(u32×n).
-  const std::uint64_t N = idx.num_nodes();
-  const std::size_t leaf_data_off = 16 + 4 + 8 + (8 + 4 * N) + (8 + 8 * N) +
-                                    2 * (8 + 4 * (2 * N - 1)) + 8;
+  // euler_node_/euler_level_(u32×(2N−1) each), leaf_pos_(u32×n).  In v3
+  // each u64 prefix is followed by zero padding up to the next 64-byte
+  // file offset, so walk the layout instead of summing sizes.
+  std::size_t pos = 16 + 4 + 8;
+  const auto pad64 = [](std::size_t p) { return (64 - p % 64) % 64; };
+  const auto skip_vec = [&](std::size_t elem) {
+    std::uint64_t len = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof(len));
+    pos += 8 + pad64(pos + 8) + len * elem;
+  };
+  skip_vec(4);  // node_level_
+  skip_vec(8);  // wdepth_
+  skip_vec(4);  // euler_node_
+  skip_vec(4);  // euler_level_
   std::uint64_t decoded_len = 0;
-  std::memcpy(&decoded_len, bytes.data() + leaf_data_off - 8,
-              sizeof(decoded_len));
+  std::memcpy(&decoded_len, bytes.data() + pos, sizeof(decoded_len));
   ASSERT_EQ(decoded_len, idx.num_leaves()) << "layout drifted; fix offset";
+  const std::size_t leaf_data_off = pos + 8 + pad64(pos + 8);
   // Alias leaf 1 onto leaf 0's position.
   std::memcpy(bytes.data() + leaf_data_off + 4, bytes.data() + leaf_data_off,
               4);

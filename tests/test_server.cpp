@@ -103,6 +103,19 @@ std::vector<Weight> extract(const std::vector<serve::TenantQuery>& stream,
   return values;
 }
 
+TEST(Server, RegistryFingerprintIsHostIndependentValue) {
+  // The fingerprint packs the 8 magic bytes explicitly little-endian
+  // (byte i into bits 8i) — never via a native-order memcpy, which would
+  // make the same artefact fingerprint differently on big-endian hosts.
+  // The pinned literal is the ground truth for 'PMTEENS1' + the v3 header
+  // words; it changes exactly when kFormatVersion does (the version is
+  // folded in), so a format bump re-pins it deliberately.
+  EXPECT_EQ(serve::registry_fingerprint(serve::kEnsembleMagic,
+                                        0xfeedfacecafebeefULL,
+                                        0x0123456789abcdefULL, 4),
+            0x4957d7613a1797a8ULL);
+}
+
 TEST(Server, RegistryFingerprintIsContentIdentity) {
   const auto g = test_graph();
   const auto e = serve::FrtEnsemble::build(g, 99, ensemble_options());
@@ -254,6 +267,10 @@ TEST(Server, ScenarioBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(a.lca_probes, b.lca_probes) << t << ", " << threads;
       EXPECT_EQ(a.cache_hits, b.cache_hits) << t << ", " << threads;
       EXPECT_EQ(a.cache_misses, b.cache_misses) << t << ", " << threads;
+      EXPECT_EQ(a.cache_admissions, b.cache_admissions)
+          << t << ", " << threads;
+      EXPECT_EQ(a.cache_conflicts, b.cache_conflicts)
+          << t << ", " << threads;
       EXPECT_EQ(a.epoch, b.epoch) << t << ", " << threads;
       EXPECT_EQ(a.result_hash64, b.result_hash64) << t << ", " << threads;
     }
@@ -314,6 +331,18 @@ TEST(Server, SwapEqualsSerialReplaySplitAtSwapPoint) {
   EXPECT_EQ(c.lca_probes, s_before.lca_probes + s_after.lca_probes);
   EXPECT_EQ(c.cache_hits, s_before.cache_hits + s_after.cache_hits);
   EXPECT_EQ(c.cache_misses, s_before.cache_misses + s_after.cache_misses);
+  // The admission/conflict ledger is cumulative across the swap: the flip
+  // resets the *cache* (and its own stats), but every batch folds its
+  // BatchStats into TenantCounters first, so the pre-swap share survives.
+  // Both epochs must have admitted entries for this to prove anything —
+  // a ledger zeroed at the flip would report only the s_after share.
+  EXPECT_EQ(c.cache_admissions,
+            s_before.cache_admissions + s_after.cache_admissions);
+  EXPECT_EQ(c.cache_conflicts,
+            s_before.cache_conflicts + s_after.cache_conflicts);
+  EXPECT_GT(s_before.cache_admissions, 0u);
+  EXPECT_GT(s_after.cache_admissions, 0u);
+  EXPECT_EQ(c.cache_misses, c.cache_admissions + c.cache_conflicts);
   EXPECT_EQ(c.epoch, 1u);
 }
 
