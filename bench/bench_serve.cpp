@@ -17,6 +17,7 @@
 #include <fstream>
 
 #include "bench/bench_common.hpp"
+#include "src/obs/obs.hpp"
 #include "src/parallel/counters.hpp"
 #include "src/serve/frt_ensemble.hpp"
 #include "src/serve/hot_pair_cache.hpp"
@@ -47,6 +48,34 @@ CounterScenario build_scenario(const std::string& name, const Graph& g,
   return s;
 }
 
+#if PMTE_OBS
+/// Informational latency keys (warn-only in the CI gate, see
+/// scripts/check_bench_regression.py): replay the workload in 16
+/// sub-batches and report log2-coarse percentiles of the per-batch wall
+/// time.  A *separate* replay after the gated run — the gated counters
+/// above come from the original unchunked batch and are untouched.
+void add_latency_keys(CounterScenario& s, const serve::FrtEnsemble& e,
+                      const std::vector<std::pair<Vertex, Vertex>>& workload,
+                      serve::AggregatePolicy policy) {
+  obs::Histogram lat;
+  std::vector<Weight> scratch;
+  constexpr std::size_t kChunks = 16;
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    const std::size_t lo = workload.size() * c / kChunks;
+    const std::size_t hi = workload.size() * (c + 1) / kChunks;
+    const std::vector<std::pair<Vertex, Vertex>> chunk(
+        workload.begin() + static_cast<std::ptrdiff_t>(lo),
+        workload.begin() + static_cast<std::ptrdiff_t>(hi));
+    const Timer t;
+    (void)e.query_batch(chunk, policy, scratch);
+    lat.record(static_cast<std::uint64_t>(t.seconds() * 1e9));
+  }
+  s.metrics.emplace_back("batch_ns_p50", lat.percentile(0.50));
+  s.metrics.emplace_back("batch_ns_p95", lat.percentile(0.95));
+  s.metrics.emplace_back("batch_ns_p99", lat.percentile(0.99));
+}
+#endif  // PMTE_OBS
+
 CounterScenario query_scenario(const std::string& name,
                                const serve::FrtEnsemble& e, const Graph& g,
                                serve::WorkloadKind kind,
@@ -58,11 +87,13 @@ CounterScenario query_scenario(const std::string& name,
   const auto workload = serve::make_workload(g, kind, wopts, rng);
   std::vector<Weight> out;
   const auto st = e.query_batch(workload, policy, out);
-  return CounterScenario{name,
-                         {{"queries", st.pairs},
-                          {"tree_lookups", st.tree_lookups},
-                          {"lca_probes", st.lca_probes},
-                          {"result_hash32", result_hash32(out)}}};
+  CounterScenario s{name,
+                    {{"queries", st.pairs},
+                     {"tree_lookups", st.tree_lookups},
+                     {"lca_probes", st.lca_probes},
+                     {"result_hash32", result_hash32(out)}}};
+  PMTE_OBS_ONLY(add_latency_keys(s, e, workload, policy));
+  return s;
 }
 
 CounterScenario cached_query_scenario(const std::string& name,

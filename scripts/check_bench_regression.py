@@ -13,45 +13,74 @@ Usage:
       --baseline BENCH_micro_ops.json \
       --current  bench-out/BENCH_micro_ops.json \
       [--tolerance 0.05]
+  scripts/check_bench_regression.py --self-test
 
 Both files may be either the raw `--counters` output
 ({"schema": 1, "scenarios": {...}}) or a scripts/run_benches.sh wrapper
 that embeds it under the "counters" key.
 
-Exit status: 0 = within tolerance, 1 = regression (or malformed input).
-After an intentional algorithmic change, regenerate the baseline with
-  build/bench/bench_<name> --counters      (see scripts/run_benches.sh)
-and commit the updated BENCH_<name>.json.  Gated baselines: micro_ops
-(engine micro scenarios), le_lists and frt_pipelines (the sparse oracle /
-FRT pipeline scenarios), serve (ensemble build work + batch-query
-counters: queries, per-tree lookups, sparse-table LCA probes, hot-pair
-cache misses), server (the many-tenant scenario: per-tenant cumulative
-query counters across interleaved streams and a mid-stream epoch
-hot-swap), and the application query paths — kmedian, buyatbulk,
-sketches (tree_node_visits = FrtTree pointer chases, zero on the flat
-serving paths; tree_lookups / lca_probes = flat index reads / RMQ probes).
-cache_conflicts (misses that bypassed the cache because another pair owns
-the slot) is gated like cache_misses: growth means the hot set stopped
-fitting.  bulk_bytes_copied gates the load path: the copied-load scenario
-pins how many payload bytes a stream load moves, and the mapped-load
-baseline is 0 — ANY copied byte on the mmap path fails the gate (a zero
-baseline allows zero growth), which is the zero-copy contract in CI form.
-cache_hits, sections_copied/sections_mapped, and result_hash32 are emitted
-but deliberately NOT gated: hits growing is an improvement, the section
-counts are structural (a format change legitimately moves them), and the
-hashes pin served values whose every drift should be reviewed in the JSON
-diff rather than thresholded.
+Every key is classified, and the class decides the policy:
+
+  gated          logical counters — fail the build on >tolerance growth;
+                 a zero baseline allows zero growth (the bulk_bytes_copied
+                 zero-copy contract in CI form).
+  ungated        emitted for review, never thresholded: improvements
+                 (cache_hits), structural counts (sections_*, trees,
+                 index_nodes, the oracle level-outcome split), lifecycle
+                 values (epoch, ensembles_resident, epochs_retired), and
+                 result_hash32 — the hash pins served doubles bit-for-bit
+                 and any drift should be reviewed in the JSON diff, not
+                 thresholded.
+  informational  wall-time keys (`*_ns/_us/_ms/_seconds`, optionally with
+                 a `_pNN` percentile suffix — the obs-layer latency
+                 percentiles): machine-dependent by nature, so drift only
+                 warns, it never fails.
+  unknown        a hard error in either file.  A typo'd or unclassified
+                 key silently bypassing the gate is exactly the failure
+                 mode this prevents: adding a bench key now requires
+                 deciding its class here.
+
+Exit status: 0 = within tolerance, 1 = regression, unknown key, or
+malformed input.  After an intentional algorithmic change, regenerate the
+baseline with `build/bench/bench_<name> --counters` (see
+scripts/run_benches.sh) and commit the updated BENCH_<name>.json.
 """
 
 import argparse
 import json
+import re
 import sys
 
-GATED_METRICS = ("relaxations", "edges_touched", "work", "depth",
-                 "iterations", "base_iterations",
-                 "queries", "tree_lookups", "lca_probes",
-                 "tree_node_visits", "cache_misses", "cache_conflicts",
-                 "bulk_bytes_copied")
+GATED_METRICS = frozenset((
+    "relaxations", "edges_touched", "work", "depth",
+    "iterations", "base_iterations",
+    "queries", "tree_lookups", "lca_probes",
+    "tree_node_visits", "cache_misses", "cache_conflicts",
+    "bulk_bytes_copied",
+))
+
+KNOWN_UNGATED = frozenset((
+    "cache_hits", "cache_admissions", "result_hash32",
+    "sections_copied", "sections_mapped",
+    "index_nodes", "trees",
+    "levels_skipped", "levels_warm", "levels_full",
+    "epoch", "ensembles_resident", "epochs_retired",
+))
+
+# Wall-time keys: a time-unit suffix, optionally followed by a percentile
+# (batch_ns_p50), or a bare percentile suffix.
+INFORMATIONAL_RE = re.compile(
+    r".*_(?:ns|us|ms|seconds)(?:_p\d{1,3})?$|.*_p\d{1,3}$")
+
+
+def classify(key):
+    if key in GATED_METRICS:
+        return "gated"
+    if key in KNOWN_UNGATED:
+        return "ungated"
+    if INFORMATIONAL_RE.fullmatch(key):
+        return "informational"
+    return "unknown"
 
 
 def load_scenarios(path):
@@ -66,49 +95,68 @@ def load_scenarios(path):
     return scenarios
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True,
-                    help="committed baseline JSON (e.g. BENCH_micro_ops.json)")
-    ap.add_argument("--current", required=True,
-                    help="freshly produced counters JSON")
-    ap.add_argument("--tolerance", type=float, default=0.05,
-                    help="maximum allowed relative growth per counter "
-                         "(default 0.05 = 5%%)")
-    args = ap.parse_args()
-
-    try:
-        baseline = load_scenarios(args.baseline)
-        current = load_scenarios(args.current)
-    except (OSError, ValueError, json.JSONDecodeError) as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 1
-
+def compare(baseline, current, tolerance):
+    """Classify and diff every key.  Returns (regressions, improvements,
+    warnings, unknowns) as printable strings; regressions or unknowns
+    being non-empty means the gate fails."""
     regressions = []
     improvements = []
+    warnings = []
+    unknowns = []
+
+    for name in sorted(set(baseline) | set(current)):
+        for metric in sorted(set(baseline.get(name, {})) |
+                             set(current.get(name, {}))):
+            if classify(metric) == "unknown":
+                unknowns.append(
+                    f"{name}.{metric}: unknown key — classify it in "
+                    "scripts/check_bench_regression.py (gated, ungated, or "
+                    "informational)")
+
     for name, base_metrics in sorted(baseline.items()):
         cur_metrics = current.get(name)
         if cur_metrics is None:
             regressions.append(f"{name}: scenario missing from current run")
             continue
-        for metric in GATED_METRICS:
-            if metric not in base_metrics:
-                continue
-            base = base_metrics[metric]
+        for metric, base in sorted(base_metrics.items()):
+            kind = classify(metric)
             cur = cur_metrics.get(metric)
-            if cur is None:
-                regressions.append(f"{name}.{metric}: missing from current run")
-                continue
-            limit = base * (1.0 + args.tolerance)
-            if cur > limit:
-                pct = 100.0 * (cur - base) / base if base else float("inf")
-                regressions.append(
-                    f"{name}.{metric}: {base} -> {cur} (+{pct:.1f}%, "
-                    f"limit +{100.0 * args.tolerance:.1f}%)")
-            elif cur < base:
-                pct = 100.0 * (base - cur) / base
-                improvements.append(
-                    f"{name}.{metric}: {base} -> {cur} (-{pct:.1f}%)")
+            if kind == "gated":
+                if cur is None:
+                    regressions.append(
+                        f"{name}.{metric}: missing from current run")
+                    continue
+                limit = base * (1.0 + tolerance)
+                if cur > limit:
+                    pct = (100.0 * (cur - base) / base if base
+                           else float("inf"))
+                    regressions.append(
+                        f"{name}.{metric}: {base} -> {cur} (+{pct:.1f}%, "
+                        f"limit +{100.0 * tolerance:.1f}%)")
+                elif cur < base:
+                    pct = 100.0 * (base - cur) / base
+                    improvements.append(
+                        f"{name}.{metric}: {base} -> {cur} (-{pct:.1f}%)")
+            elif kind == "informational":
+                if cur is not None and cur != base:
+                    warnings.append(
+                        f"{name}.{metric}: {base} -> {cur} "
+                        "(informational, not gated)")
+            # ungated keys: reviewed through the JSON diff, nothing to do.
+
+    return regressions, improvements, warnings, unknowns
+
+
+def run_gate(baseline_path, current_path, tolerance):
+    try:
+        baseline = load_scenarios(baseline_path)
+        current = load_scenarios(current_path)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    regressions, improvements, warnings, unknowns = compare(
+        baseline, current, tolerance)
 
     new_scenarios = sorted(set(current) - set(baseline))
     if new_scenarios:
@@ -116,18 +164,118 @@ def main():
               f"the baseline): {', '.join(new_scenarios)}")
     for line in improvements:
         print(f"improved: {line}")
+    for line in warnings:
+        print(f"warning: {line}")
+    if unknowns:
+        print(f"\n{len(unknowns)} unknown counter key(s):", file=sys.stderr)
+        for line in unknowns:
+            print(f"  UNKNOWN {line}", file=sys.stderr)
     if regressions:
         print(f"\n{len(regressions)} counter regression(s) beyond "
-              f"{100.0 * args.tolerance:.1f}%:", file=sys.stderr)
+              f"{100.0 * tolerance:.1f}%:", file=sys.stderr)
         for line in regressions:
             print(f"  REGRESSION {line}", file=sys.stderr)
         print("\nIf the growth is an intentional algorithmic change, "
               "regenerate and commit the baseline "
               "(bench_micro_ops --counters).", file=sys.stderr)
+    if regressions or unknowns:
         return 1
     print(f"bench gate OK: {len(baseline)} scenarios within "
-          f"{100.0 * args.tolerance:.1f}% of baseline")
+          f"{100.0 * tolerance:.1f}% of baseline")
     return 0
+
+
+def self_test():
+    """Unit-test the classification and comparison logic on synthetic
+    scenarios (invoked from CTest as bench_gate_selftest)."""
+    failures = []
+
+    def check(label, cond):
+        if not cond:
+            failures.append(label)
+
+    # Classification table.
+    check("gated key", classify("relaxations") == "gated")
+    check("ungated key", classify("result_hash32") == "ungated")
+    check("latency percentile", classify("batch_ns_p50") == "informational")
+    check("bare time unit", classify("build_ms") == "informational")
+    check("seconds unit", classify("elapsed_seconds") == "informational")
+    check("bare percentile", classify("stretch_p99") == "informational")
+    check("unknown key", classify("typo_counter") == "unknown")
+    check("unknown prefix of gated",
+          classify("relaxations_extra") == "unknown")
+
+    def diff(base, cur, tolerance=0.05):
+        return compare({"s": base}, {"s": cur}, tolerance)
+
+    # Gated growth beyond tolerance fails.
+    reg, imp, warn, unk = diff({"work": 100}, {"work": 106})
+    check("gated regression detected", len(reg) == 1 and not unk)
+    # Growth within tolerance passes.
+    reg, imp, warn, unk = diff({"work": 100}, {"work": 105})
+    check("tolerated growth passes", not reg)
+    # Improvement passes and is reported.
+    reg, imp, warn, unk = diff({"work": 100}, {"work": 90})
+    check("improvement passes", not reg and len(imp) == 1)
+    # Zero baseline allows zero growth only.
+    reg, imp, warn, unk = diff({"bulk_bytes_copied": 0},
+                               {"bulk_bytes_copied": 1})
+    check("zero baseline gates any growth", len(reg) == 1)
+    reg, imp, warn, unk = diff({"bulk_bytes_copied": 0},
+                               {"bulk_bytes_copied": 0})
+    check("zero baseline passes at zero", not reg)
+    # Informational drift warns but never fails.
+    reg, imp, warn, unk = diff({"batch_ns_p99": 1000},
+                               {"batch_ns_p99": 900000})
+    check("informational drift warns only",
+          not reg and not unk and len(warn) == 1)
+    # Unknown keys hard-error, from either side.
+    reg, imp, warn, unk = diff({"mystery": 1}, {})
+    check("unknown key in baseline errors", len(unk) == 1)
+    reg, imp, warn, unk = diff({}, {"mystery": 1})
+    check("unknown key in current errors", len(unk) == 1)
+    # A gated key missing from the current run fails.
+    reg, imp, warn, unk = diff({"queries": 5}, {"result_hash32": 1})
+    check("missing gated key fails", any("missing" in r for r in reg))
+    # A missing scenario fails.
+    reg, imp, warn, unk = compare({"gone": {"work": 1}}, {}, 0.05)
+    check("missing scenario fails", len(reg) == 1)
+    # Ungated drift is silent.
+    reg, imp, warn, unk = diff({"cache_hits": 10}, {"cache_hits": 0})
+    check("ungated drift is silent", not reg and not warn and not unk)
+    # Every key currently emitted by the benches must classify.
+    emitted = GATED_METRICS | KNOWN_UNGATED | {
+        "batch_ns_p50", "batch_ns_p95", "batch_ns_p99"}
+    for key in sorted(emitted):
+        check(f"key {key} classifies", classify(key) != "unknown")
+
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print("bench gate self-test OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline",
+                    help="committed baseline JSON (e.g. BENCH_micro_ops.json)")
+    ap.add_argument("--current",
+                    help="freshly produced counters JSON")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="maximum allowed relative growth per gated counter "
+                         "(default 0.05 = 5%%)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in unit tests and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required "
+                 "(or use --self-test)")
+    return run_gate(args.baseline, args.current, args.tolerance)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Validate the observability exports of serve_queries.
+
+Runs `serve_queries --metrics-out --trace-out` on a toy graph and checks
+both artefacts against their format contracts (docs/OBSERVABILITY.md):
+
+Prometheus text exposition:
+  - every non-comment line is `series[{labels}] value`
+  - every series is preceded by exactly one # HELP and # TYPE line for its
+    family, with a valid type (counter | gauge | histogram)
+  - label sets parse as comma-separated key="escaped value" pairs
+  - histogram families carry `_bucket{le=...}` series with nondecreasing
+    cumulative counts, a final le="+Inf" bucket, plus `_sum` and `_count`,
+    and the +Inf bucket equals `_count`
+
+Chrome trace-event JSON:
+  - the file parses as {"traceEvents": [...]}
+  - every event is a complete event (ph == "X") with the required fields,
+    nonnegative ts/dur, and a nonnegative integer tid
+  - events are sorted by ts (monotone — the writer merges the per-thread
+    rings into one timeline) and rebased so the earliest ts is 0
+
+Usage:
+  scripts/check_obs_export.py --serve-bin build/src/serve_queries
+      [--keep-dir DIR]
+
+Exit status: 0 = both exports valid, 1 = any violation (each is printed).
+Wired into CI (obs-export job) and CTest (obs_export).
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(-?\d+(?:\.\d+)?)$")
+VALID_TYPES = ("counter", "gauge", "histogram")
+
+
+def family_of(series_name, declared_types):
+    """Map a sample's series name to its declared family: histogram
+    samples append _bucket/_sum/_count to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if series_name.endswith(suffix):
+            base = series_name[: -len(suffix)]
+            if declared_types.get(base) == "histogram":
+                return base
+    return series_name
+
+
+def check_prometheus(path, errors):
+    declared_help = {}
+    declared_types = {}
+    # (family, labels-without-le) -> list of (le, cumulative value)
+    buckets = {}
+    sums = {}
+    counts = {}
+    n_samples = 0
+
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+
+        def err(msg):
+            errors.append(f"{path.name}:{lineno}: {msg}: {line!r}")
+
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not METRIC_NAME_RE.match(parts[2]):
+                err("malformed # HELP line")
+                continue
+            if parts[2] in declared_help:
+                err(f"duplicate # HELP for family {parts[2]}")
+            declared_help[parts[2]] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not METRIC_NAME_RE.match(parts[2]):
+                err("malformed # TYPE line")
+                continue
+            if parts[3] not in VALID_TYPES:
+                err(f"invalid metric type {parts[3]!r}")
+            if parts[2] in declared_types:
+                err(f"duplicate # TYPE for family {parts[2]}")
+            declared_types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err("unparseable sample line")
+            continue
+        n_samples += 1
+        series, labelstr, value = m.group(1), m.group(2) or "", m.group(3)
+        family = family_of(series, declared_types)
+        if family not in declared_types:
+            err(f"sample of undeclared family {family!r} (no # TYPE)")
+            continue
+        if family not in declared_help:
+            err(f"sample of family {family!r} with no # HELP")
+
+        labels = {}
+        if labelstr:
+            for lm in LABEL_RE.finditer(labelstr):
+                labels[lm.group(1)] = lm.group(2)
+            rest = LABEL_RE.sub("", labelstr).replace(",", "")
+            if rest.strip():
+                err(f"unparseable label set {labelstr!r}")
+                continue
+
+        if declared_types[family] == "histogram":
+            key = (family,
+                   tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le")))
+            if series.endswith("_bucket"):
+                if "le" not in labels:
+                    err("histogram _bucket sample without le label")
+                    continue
+                buckets.setdefault(key, []).append(
+                    (labels["le"], float(value)))
+            elif series.endswith("_sum"):
+                sums[key] = float(value)
+            elif series.endswith("_count"):
+                counts[key] = float(value)
+            else:
+                err("bare sample of a histogram family")
+
+    for key, bs in sorted(buckets.items()):
+        family = key[0]
+        if bs[-1][0] != "+Inf":
+            errors.append(f"{path.name}: {family}: last bucket is "
+                          f"le={bs[-1][0]!r}, expected +Inf")
+        prev = -1.0
+        for le, v in bs:
+            if v < prev:
+                errors.append(f"{path.name}: {family}: cumulative bucket "
+                              f"counts decrease at le={le}")
+            prev = v
+        if key not in counts:
+            errors.append(f"{path.name}: {family}: missing _count")
+        elif bs[-1][0] == "+Inf" and bs[-1][1] != counts[key]:
+            errors.append(f"{path.name}: {family}: +Inf bucket "
+                          f"({bs[-1][1]}) != _count ({counts[key]})")
+        if key not in sums:
+            errors.append(f"{path.name}: {family}: missing _sum")
+
+    if n_samples == 0:
+        errors.append(f"{path.name}: no samples at all — the obs layer "
+                      "was not enabled?")
+    return n_samples
+
+
+REQUIRED_EVENT_FIELDS = ("name", "cat", "ph", "pid", "tid", "ts", "dur")
+
+
+def check_trace(path, errors):
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        errors.append(f"{path.name}: not valid JSON: {e}")
+        return 0
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append(f"{path.name}: missing traceEvents array")
+        return 0
+
+    open_by_tid = {}  # tid -> stack, for B/E matching if ever emitted
+    prev_ts = -1.0
+    saw_zero_ts = False
+    for i, ev in enumerate(events):
+        def err(msg):
+            errors.append(f"{path.name}: event {i}: {msg}")
+
+        missing = [f for f in REQUIRED_EVENT_FIELDS
+                   if f not in ev and not (f == "dur" and
+                                           ev.get("ph") in ("B", "E"))]
+        if missing:
+            err(f"missing fields {missing}")
+            continue
+        ph = ev["ph"]
+        if ph not in ("X", "B", "E"):
+            err(f"unexpected phase {ph!r} (complete or begin/end only)")
+            continue
+        if not isinstance(ev["tid"], int) or ev["tid"] < 0:
+            err(f"bad tid {ev['tid']!r}")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            err(f"negative or non-numeric ts {ts!r}")
+            continue
+        if ts == 0:
+            saw_zero_ts = True
+        if ts < prev_ts:
+            err(f"ts not monotone ({ts} after {prev_ts})")
+        prev_ts = ts
+        if ph == "X":
+            dur = ev["dur"]
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err(f"negative or non-numeric dur {dur!r}")
+        elif ph == "B":
+            open_by_tid.setdefault(ev["tid"], []).append(ev["name"])
+        elif ph == "E":
+            stack = open_by_tid.get(ev["tid"], [])
+            if not stack:
+                err("E event with no matching B on this tid")
+            else:
+                stack.pop()
+
+    for tid, stack in sorted(open_by_tid.items()):
+        if stack:
+            errors.append(f"{path.name}: tid {tid}: {len(stack)} B "
+                          f"event(s) never closed: {stack}")
+    if events and not saw_zero_ts:
+        errors.append(f"{path.name}: no event at ts=0 — timestamps are "
+                      "not rebased to the earliest event")
+    if not events:
+        errors.append(f"{path.name}: no trace events at all — tracing "
+                      "was not enabled?")
+    return len(events)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--serve-bin", required=True,
+                    help="path to the serve_queries binary")
+    ap.add_argument("--keep-dir",
+                    help="write the exports here (kept) instead of a "
+                         "temp dir")
+    args = ap.parse_args()
+
+    serve_bin = Path(args.serve_bin)
+    if not serve_bin.exists():
+        print(f"error: {serve_bin} not found (build serve_queries first)",
+              file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="pmte-obs-") as tmp:
+        outdir = Path(args.keep_dir) if args.keep_dir else Path(tmp)
+        outdir.mkdir(parents=True, exist_ok=True)
+        metrics = outdir / "metrics.prom"
+        trace = outdir / "trace.json"
+
+        # Toy graph, both run modes: a single-workload replay with a cache
+        # (exercises ensemble/cache instruments) and a many-tenant run with
+        # a hot-swap (exercises server phase spans + per-tenant series).
+        runs = [
+            ["--graph=gnm", "--n=256", "--seed=7", "--trees=4",
+             "--queries=5000", "--repeat=1", "--cache",
+             "--cache-capacity=1024",
+             f"--metrics-out={metrics}", f"--trace-out={trace}"],
+            ["--graph=gnm", "--n=256", "--seed=7", "--trees=4",
+             "--queries=5000", "--tenants=2", "--batches=4", "--swap-at=2",
+             f"--metrics-out={metrics}", f"--trace-out={trace}"],
+        ]
+        errors = []
+        for extra in runs:
+            cmd = [str(serve_bin)] + extra
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=600)
+            if proc.returncode != 0:
+                print(proc.stdout)
+                print(proc.stderr, file=sys.stderr)
+                print(f"error: {' '.join(cmd)} exited "
+                      f"{proc.returncode}", file=sys.stderr)
+                return 1
+            n_samples = check_prometheus(metrics, errors)
+            n_events = check_trace(trace, errors)
+            mode = "tenant" if any("--tenants" in a for a in extra) \
+                else "single"
+            print(f"{mode} run: {n_samples} metric samples, "
+                  f"{n_events} trace events")
+
+        if errors:
+            print(f"\n{len(errors)} export violation(s):", file=sys.stderr)
+            for e in errors:
+                print(f"  {e}", file=sys.stderr)
+            return 1
+    print("obs export OK: Prometheus grammar and trace schema both valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ patterns that *create* the exposure in the first place:
   omp-fp-atomic        omp atomic/critical (unordered FP accumulation)
   omp-thread-api       omp_get_thread_num & friends outside parallel.hpp
   pointer-hash-order   hashing/ordering on pointer values (ASLR-dependent)
-  wall-clock           clock reads in library code outside src/util/timer.hpp
+  wall-clock           clock reads outside src/util/timer.hpp and src/obs/
 
 Waivers (must carry a non-empty reason; an empty reason is itself an error):
 
@@ -157,16 +157,20 @@ RULES = [
     ),
     Rule(
         "wall-clock",
-        "no clock reads in library code outside src/util/timer.hpp",
+        "no clock reads in library code outside src/util/timer.hpp and "
+        "src/obs/",
         "wall-clock values leaking into algorithmic decisions (seeds, "
         "thresholds, tie-breaks) make runs irreproducible; library code "
-        "measures time only through pmte::Timer, and only benches/tests "
-        "report it.",
+        "measures time only through pmte::Timer / pmte::now_ns, and the "
+        "observability layer (src/obs/) is write-only — spans and latency "
+        "histograms record time but never feed it back into control flow "
+        "(the bar documented in docs/DETERMINISM.md). Instrument with "
+        "PMTE_OBS_SPAN instead of reading a clock.",
         [r"\bstd::chrono\b",
          r"\b(?:steady|system|high_resolution)_clock\b",
          r"\bgettimeofday\s*\(", r"\bclock\s*\(\s*\)"],
         scope=("src",),
-        exempt=("src/util/timer.hpp",),
+        exempt=("src/util/timer.hpp", "src/obs/"),
     ),
 ]
 

@@ -10,6 +10,7 @@
 //                   [--save=FILE] [--load=FILE] [--threads=N] [--roundtrip]
 //                   [--mmap] [--stretch]
 //                   [--tenants=N [--batches=8] [--swap-at=BATCH]]
+//                   [--metrics-out=FILE] [--trace-out=FILE]
 //
 // The embedding lifecycle end to end: sample k FRT trees (one master
 // seed, split per tree), compact them into O(1)-query FrtIndex layouts,
@@ -41,6 +42,11 @@
 // registry.  The final per-tenant counter table (pairs, tree lookups, LCA
 // probes, cache hits/misses, result hash) is bit-identical at any thread
 // count — the same quantities the CI gate pins in BENCH_server.json.
+//
+// --metrics-out FILE / --trace-out FILE turn the observability layer on
+// (docs/OBSERVABILITY.md) and, when the process exits, write Prometheus
+// text exposition / Chrome trace-event JSON for the whole run.  Purely
+// additive: enabling them never changes served doubles or counters.
 
 #include <cmath>
 #include <cstdio>
@@ -54,6 +60,7 @@
 #include <vector>
 
 #include "src/graph/generators.hpp"
+#include "src/obs/obs.hpp"
 #include "src/serve/frt_ensemble.hpp"
 #include "src/serve/hot_pair_cache.hpp"
 #include "src/serve/server.hpp"
@@ -80,6 +87,44 @@ std::string fp_hex(std::uint64_t fp) {
   os << std::hex << std::setw(16) << std::setfill('0') << fp;
   return os.str();
 }
+
+/// Writes the requested exports when main() returns — through *any* exit
+/// path, including the early `return 1`s — so a failed run still leaves
+/// its metrics/trace behind for diagnosis.
+struct ObsExportGuard {
+  std::string metrics_path;
+  std::string trace_path;
+
+  ~ObsExportGuard() {
+#if PMTE_OBS
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      if (os) {
+        obs::registry().write_prometheus(os);
+        std::cout << "metrics: wrote Prometheus exposition to "
+                  << metrics_path << "\n";
+      } else {
+        std::cerr << "cannot open " << metrics_path << " for writing\n";
+      }
+    }
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
+      if (os) {
+        obs::trace_sink().write_chrome_trace(os);
+        std::cout << "trace: wrote " << obs::trace_sink().num_events()
+                  << " events to " << trace_path << "\n";
+      } else {
+        std::cerr << "cannot open " << trace_path << " for writing\n";
+      }
+    }
+#else
+    if (!metrics_path.empty() || !trace_path.empty()) {
+      std::cerr << "warning: built with PMTE_OBS=0 — "
+                   "--metrics-out/--trace-out ignored\n";
+    }
+#endif
+  }
+};
 
 /// The many-tenant scenario: N interleaved tenant streams through one
 /// Server, optionally with a mid-stream epoch hot-swap of tenant 0.
@@ -184,6 +229,17 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const auto threads = cli.get_int("threads", 0);
   if (threads > 0) set_num_threads(static_cast<int>(threads));
+
+  // Observability opt-in: either flag switches the layer on for the whole
+  // run; exports are written when main() exits (see ObsExportGuard).
+  const ObsExportGuard obs_guard{cli.get("metrics-out", ""),
+                                 cli.get("trace-out", "")};
+  if (!obs_guard.metrics_path.empty() || !obs_guard.trace_path.empty()) {
+    obs::ObsConfig cfg;
+    cfg.metrics = true;
+    cfg.trace = !obs_guard.trace_path.empty();
+    obs::configure(cfg);
+  }
 
   const auto family = cli.get("graph", "gnm");
   const auto n = static_cast<Vertex>(cli.get_int("n", 4096));

@@ -5,6 +5,7 @@
 
 #include "src/graph/shortest_paths.hpp"
 #include "src/mbf/algorithms.hpp"
+#include "src/obs/obs.hpp"
 #include "src/parallel/parallel.hpp"
 #include "src/spanner/baswana_sen.hpp"
 #include "src/util/assertions.hpp"
@@ -85,6 +86,8 @@ unsigned hop_diameter_estimate(const Graph& g) {
 }  // namespace
 
 CongestRun congest_frt_khan(const Graph& g, const VertexOrder& order) {
+  PMTE_OBS_SPAN("congest.khan",
+                static_cast<std::int64_t>(g.num_vertices()), "vertices");
   PMTE_CHECK(order.n() == g.num_vertices(), "order size mismatch");
   CongestRun run;
   run.embedding_stretch = 1.0;
@@ -111,6 +114,8 @@ CongestRun congest_frt_khan(const Graph& g, const VertexOrder& order) {
 
 SkeletonRun congest_frt_skeleton(const Graph& g, const SkeletonOptions& opts,
                                  Rng& rng) {
+  PMTE_OBS_SPAN("congest.skeleton",
+                static_cast<std::int64_t>(g.num_vertices()), "vertices");
   const Vertex n = g.num_vertices();
   PMTE_CHECK(n >= 2, "skeleton algorithm needs n >= 2");
   SkeletonRun out;

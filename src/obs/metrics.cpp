@@ -1,0 +1,235 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "src/util/assertions.hpp"
+
+namespace pmte::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Canonical rendered label set: sorted by key, `k="v"` comma-joined.
+/// Empty labels render as the empty string (a bare series).
+std::string render_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    PMTE_CHECK(valid_label_name(labels[i].first),
+               "obs: invalid label name: " + labels[i].first);
+    PMTE_CHECK(i == 0 || labels[i].first != labels[i - 1].first,
+               "obs: duplicate label key: " + labels[i].first);
+    if (i > 0) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label_value(labels[i].second);
+    out.push_back('"');
+  }
+  return out;
+}
+
+/// `name{labels}` / `name` — the exposition series head.  `extra` splices
+/// an additional label (the histogram `le`) after the canonical set.
+std::string series(const std::string& name, const std::string& labels,
+                   const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name;
+  out.push_back('{');
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out.push_back(',');
+  out += extra;
+  out.push_back('}');
+  return out;
+}
+
+const char* kind_name(bool is_counter, bool is_gauge) {
+  return is_counter ? "counter" : (is_gauge ? "gauge" : "histogram");
+}
+
+}  // namespace
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += bucket_count(b);
+    if (cum >= target) return bucket_le(b);
+  }
+  return bucket_le(kBuckets - 1);
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::snapshot()
+    const noexcept {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t b = 0; b < kBuckets; ++b) out[b] = bucket_count(b);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::resolve(
+    Kind kind, const std::string& name, const Labels& labels,
+    const std::string& help) {
+  PMTE_CHECK(valid_metric_name(name), "obs: invalid metric name: " + name);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      instruments_.try_emplace({name, render_labels(labels)});
+  Instrument& inst = it->second;
+  if (inserted) {
+    inst.kind = kind;
+    inst.help = help;
+    switch (kind) {
+      case Kind::kCounter:
+        inst.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        inst.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        inst.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else {
+    PMTE_CHECK(inst.kind == kind,
+               "obs: instrument '" + name +
+                   "' re-registered with a different kind");
+    if (inst.help.empty()) inst.help = help;
+  }
+  return inst;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels,
+                                  const std::string& help) {
+  return *resolve(Kind::kCounter, name, labels, help).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  return *resolve(Kind::kGauge, name, labels, help).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      const std::string& help) {
+  return *resolve(Kind::kHistogram, name, labels, help).histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, inst] : instruments_) {
+    switch (inst.kind) {
+      case Kind::kCounter:
+        inst.counter->reset();
+        break;
+      case Kind::kGauge:
+        inst.gauge->reset();
+        break;
+      case Kind::kHistogram:
+        inst.histogram->reset();
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string* last_family = nullptr;
+  for (const auto& [key, inst] : instruments_) {
+    const auto& [name, labels] = key;
+    if (last_family == nullptr || *last_family != name) {
+      // The pair key keeps a family's series contiguous, so the metadata
+      // lines emit exactly once per family.
+      os << "# HELP " << name << ' '
+         << (inst.help.empty() ? "(no help registered)" : inst.help) << '\n';
+      os << "# TYPE " << name << ' '
+         << kind_name(inst.kind == Kind::kCounter, inst.kind == Kind::kGauge)
+         << '\n';
+      last_family = &name;
+    }
+    switch (inst.kind) {
+      case Kind::kCounter:
+        os << series(name, labels) << ' ' << inst.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << series(name, labels) << ' ' << inst.gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *inst.histogram;
+        const auto counts = h.snapshot();
+        // Cumulative buckets up to the highest non-empty one; +Inf always
+        // emits and equals _count (the grammar check_obs_export.py pins).
+        std::size_t top = 0;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (counts[b] != 0) top = b;
+        }
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b <= top; ++b) {
+          cum += counts[b];
+          os << series(name + "_bucket", labels,
+                       "le=\"" + std::to_string(Histogram::bucket_le(b)) +
+                           "\"")
+             << ' ' << cum << '\n';
+        }
+        os << series(name + "_bucket", labels, "le=\"+Inf\"") << ' '
+           << h.count() << '\n';
+        os << series(name + "_sum", labels) << ' ' << h.sum() << '\n';
+        os << series(name + "_count", labels) << ' ' << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace pmte::obs

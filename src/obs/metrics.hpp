@@ -1,0 +1,181 @@
+#pragma once
+// Metrics half of the observability layer (docs/OBSERVABILITY.md): named
+// counters, gauges, and fixed-bucket log2 histograms behind a registry
+// that exports Prometheus text exposition.
+//
+// Determinism contract.  Every instrument accumulates with commutative
+// relaxed atomics, so a metric's value is a pure function of the *multiset*
+// of recorded amounts — independent of thread count and scheduling.
+// Whether that value is deterministic therefore depends only on what feeds
+// it:
+//
+//   * counters/histograms fed *logical* quantities (shard pair counts,
+//     batch sizes, level iterations) are bit-identical at any thread count
+//     and are what tests/CI may gate;
+//   * histograms fed *wall-time* (`*_duration_ns` by convention) have
+//     deterministic bucket STRUCTURE (the log2 boundaries) but
+//     machine-dependent counts — they are informational only, never gated.
+//
+// The registry itself is deterministic: instruments are keyed and exported
+// in (name, sorted-labels) order, so two runs that register the same
+// instruments — in any order — emit byte-identical exposition modulo the
+// recorded values.
+//
+// Thread-safety: instrument *creation* takes the registry mutex; returned
+// references are stable for the registry's lifetime (the global registry
+// in obs.hpp never dies), so hot paths resolve a handle once and then
+// record lock-free.  write_prometheus/reset are serial-phase only with
+// respect to creation, but may race benignly with relaxed recording.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmte::obs {
+
+/// Instrument labels as (key, value) pairs.  The registry canonicalises
+/// them (sorted by key) so {a=1,b=2} and {b=2,a=1} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins signed level (resident ensembles, tenants, epoch).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket log2 histogram of u64 values.  Bucket b counts the values
+/// whose bit_width is exactly b, i.e. value ∈ [2^(b-1), 2^b) (bucket 0
+/// holds exactly the zeros), so the inclusive upper bound of bucket b is
+/// 2^b − 1.  Bucket *counts* are sums of commutative increments — given a
+/// deterministic multiset of recorded values they are bit-identical at any
+/// thread count (pinned by test_obs.cpp at 1/2/8 threads).  Bucket
+/// *boundaries* are value-domain constants; when the recorded value is
+/// wall-time the counts are informational, never gated (see file comment).
+class Histogram {
+ public:
+  /// bit_width of a u64 ranges over 0..64.
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value) noexcept {
+    const auto b = static_cast<std::size_t>(std::bit_width(value));
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket b (every value in bucket b is ≤ it).
+  [[nodiscard]] static constexpr std::uint64_t bucket_le(
+      std::size_t b) noexcept {
+    return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the first bucket whose cumulative count reaches
+  /// q·count — a log2-coarse percentile, good enough for the informational
+  /// p50/p95/p99 bench keys.  0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
+  /// All bucket counts at once (the deterministic quantity tests compare).
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> snapshot() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Deterministically ordered store of named instruments.  Lookup-or-create
+/// by (name, canonical labels); the same key always returns the same
+/// instrument, and a kind mismatch on an existing key is a PMTE_CHECK
+/// failure.  reset() zeroes every value but keeps instruments registered,
+/// so cached handles stay valid across test repetitions.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       const std::string& help = "");
+
+  /// Prometheus text exposition (one # HELP/# TYPE pair per family,
+  /// histogram _bucket{le=...} cumulative + _sum + _count).  Families and
+  /// series emit in sorted order — byte-stable across runs.
+  void write_prometheus(std::ostream& os) const;
+
+  /// Zero all instrument values; registered instruments (and handles to
+  /// them) survive.
+  void reset();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument& resolve(Kind kind, const std::string& name,
+                      const Labels& labels, const std::string& help);
+
+  mutable std::mutex mu_;
+  /// (metric name, canonical rendered label set) → instrument.  The pair
+  /// key keeps every family's series contiguous under map order, which is
+  /// what lets write_prometheus emit # TYPE exactly once per family.
+  std::map<std::pair<std::string, std::string>, Instrument> instruments_;
+};
+
+}  // namespace pmte::obs

@@ -62,9 +62,43 @@
 #include <vector>
 
 #include "src/mbf/engine.hpp"
+#include "src/obs/obs.hpp"
 #include "src/simgraph/simulated_graph.hpp"
 
 namespace pmte {
+
+#if PMTE_OBS
+namespace obs_detail {
+
+/// Oracle-wide instruments, bound once on first use.  The outcome-labelled
+/// counters mirror OracleStats' per-run ledger as a cumulative process-wide
+/// stream (all logical counts — deterministic, ungated; the per-scenario
+/// values stay gated through BENCH_*.json).
+struct OracleObs {
+  obs::Counter& skipped;
+  obs::Counter& warm;
+  obs::Counter& full;
+  obs::Histogram& level_base_iters;
+};
+
+inline OracleObs& oracle_obs() {
+  auto& reg = obs::registry();
+  static OracleObs o{
+      reg.counter("pmte_oracle_levels_total", {{"outcome", "skipped"}},
+                  "Per-(sweep, level) run outcomes"),
+      reg.counter("pmte_oracle_levels_total", {{"outcome", "warm"}},
+                  "Per-(sweep, level) run outcomes"),
+      reg.counter("pmte_oracle_levels_total", {{"outcome", "full"}},
+                  "Per-(sweep, level) run outcomes"),
+      reg.histogram("pmte_oracle_level_base_iterations", {},
+                    "Base MBF iterations per executed level run (logical "
+                    "value — deterministic bucket counts)"),
+  };
+  return o;
+}
+
+}  // namespace obs_detail
+#endif  // PMTE_OBS
 
 template <typename A>
 concept OracleAlgebra =
@@ -120,6 +154,9 @@ class MbfOracle {
     PMTE_CHECK(x.size() == h_->base().num_vertices(),
                "MbfOracle::step: state size mismatch");
     ++stats_.h_iterations;
+    PMTE_OBS_SPAN("oracle.step",
+                  static_cast<std::int64_t>(stats_.h_iterations),
+                  "h_iteration");
     return opts_.oracle_level_reuse ? sweep(x, changed) : jacobi_step(x);
   }
 
@@ -150,6 +187,9 @@ class MbfOracle {
   // and store the resulting states in the level cache, remembering whether
   // they are a genuine closure (fixpoint reached) or a d-truncation.
   void run_and_cache(unsigned lambda) {
+    PMTE_OBS_SPAN("oracle.level_run", static_cast<std::int64_t>(lambda),
+                  "level");
+    PMTE_OBS_ONLY(const unsigned base_before = stats_.base_iterations);
     bool fixpoint = false;
     for (unsigned s = 0; s < h_->hop_bound(); ++s) {
       const bool stepped = engine_.step();
@@ -163,12 +203,17 @@ class MbfOracle {
     cache_[lambda] = engine_.take_states();
     cache_state_[lambda] =
         fixpoint ? CacheState::kFixpoint : CacheState::kTruncated;
+    PMTE_OBS_ONLY(if (obs::metrics_on()) {
+      obs_detail::oracle_obs().level_base_iters.record(
+          stats_.base_iterations - base_before);
+    });
   }
 
   // Full support-seeded start: seed = P_λ x, frontier = supp(P_λ x) (⊥
   // entries make no offers, so they need not enter the frontier).
   void full_start(unsigned lambda, const std::vector<State>& x) {
     ++stats_.levels_full;
+    PMTE_OBS_ONLY(if (obs::metrics_on()) obs_detail::oracle_obs().full.add(1));
     std::vector<State> seed = std::move(cache_[lambda]);
     seed.resize(x.size());
     buffers_.clear();
@@ -196,6 +241,8 @@ class MbfOracle {
     for (unsigned lambda = 0; lambda <= h_->max_level(); ++lambda) {
       engine_.set_weight_scale(h_->level_scale(lambda));
       ++stats_.levels_full;
+      PMTE_OBS_ONLY(
+          if (obs::metrics_on()) obs_detail::oracle_obs().full.add(1));
       std::vector<State> seed = std::move(cache_[lambda]);
       seed.resize(n);
       parallel_for(n, [&](std::size_t vi) {
@@ -264,6 +311,8 @@ class MbfOracle {
           // Unchanged input — and y already absorbed this cache when it
           // was last merged, so even the output merge is a no-op.
           ++stats_.levels_skipped;
+          PMTE_OBS_ONLY(
+              if (obs::metrics_on()) obs_detail::oracle_obs().skipped.add(1));
           last_scan_[lambda] = event_;
           continue;
         }
@@ -294,11 +343,16 @@ class MbfOracle {
             // y ⊆ cache modulo domination: the run would reproduce the
             // cache (r(cache ⊕ A^d δ) = cache for absorbed δ) — skip.
             ++stats_.levels_skipped;
+            PMTE_OBS_ONLY(if (obs::metrics_on()) {
+              obs_detail::oracle_obs().skipped.add(1);
+            });
             cache_[lambda] = std::move(seed);
             last_scan_[lambda] = event_;
             continue;
           }
           ++stats_.levels_warm;
+          PMTE_OBS_ONLY(
+              if (obs::metrics_on()) obs_detail::oracle_obs().warm.add(1));
           engine_.reset_with_frontier(std::move(seed), delta_);
           run_and_cache(lambda);
         }

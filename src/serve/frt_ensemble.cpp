@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "src/obs/obs.hpp"
 #include "src/parallel/counters.hpp"
 #include "src/parallel/parallel.hpp"
 #include "src/serve/serialize.hpp"
@@ -15,6 +16,39 @@
 namespace pmte::serve {
 
 namespace {
+
+#if PMTE_OBS
+/// Ensemble-wide instruments, bound once on first use.  batch_pairs is a
+/// logical-value histogram (deterministic bucket counts); *_duration_ns
+/// histograms are wall-time and informational only.
+struct EnsembleObs {
+  obs::Counter& builds;
+  obs::Counter& loads_copied;
+  obs::Counter& loads_mapped;
+  obs::Histogram& build_ns;
+  obs::Histogram& batch_pairs;
+  obs::Histogram& batch_ns;
+};
+
+EnsembleObs& ensemble_obs() {
+  auto& reg = obs::registry();
+  static EnsembleObs o{
+      reg.counter("pmte_ensemble_builds_total", {}, "FrtEnsemble builds"),
+      reg.counter("pmte_ensemble_loads_copied_total", {},
+                  "Ensemble loads through the copying stream reader"),
+      reg.counter("pmte_ensemble_loads_mapped_total", {},
+                  "Ensemble loads through the zero-copy mmap reader"),
+      reg.histogram("pmte_ensemble_build_duration_ns", {},
+                    "Ensemble build wall time in ns (informational)"),
+      reg.histogram("pmte_serve_batch_pairs", {},
+                    "query_batch size in pairs (logical value — "
+                    "deterministic bucket counts)"),
+      reg.histogram("pmte_serve_batch_duration_ns", {},
+                    "query_batch wall time in ns (informational)"),
+  };
+  return o;
+}
+#endif  // PMTE_OBS
 
 inline void prefetch_ro(const void* p) {
 #if defined(__GNUC__) || defined(__clang__)
@@ -152,6 +186,9 @@ FrtEnsemble FrtEnsemble::build(const Graph& g, std::uint64_t master_seed,
                                const EnsembleOptions& opts) {
   PMTE_CHECK(opts.trees >= 1, "FrtEnsemble: needs at least one tree");
   PMTE_CHECK(g.num_vertices() >= 1, "FrtEnsemble: empty graph");
+  PMTE_OBS_SPAN("ensemble.build", static_cast<std::int64_t>(opts.trees),
+                "trees", &ensemble_obs().build_ns);
+  PMTE_OBS_ONLY(if (obs::metrics_on()) ensemble_obs().builds.add(1));
   const Timer timer;
   const WorkDepthScope scope;
 
@@ -174,6 +211,8 @@ FrtEnsemble FrtEnsemble::build(const Graph& g, std::uint64_t master_seed,
 
   std::vector<std::uint64_t> iterations(opts.trees, 0);
   auto build_one = [&](std::size_t t) {
+    PMTE_OBS_SPAN("ensemble.build_tree", static_cast<std::int64_t>(t),
+                  "tree");
     Rng rng(split_seed(master_seed, 1 + t));
     FrtSample sample = [&] {
       switch (opts.pipeline) {
@@ -234,6 +273,11 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
   PMTE_CHECK(!indices_.empty(), "FrtEnsemble::query_batch: empty ensemble");
   const std::size_t q = pairs.size();
   const std::size_t k = indices_.size();
+  PMTE_OBS_SPAN("ensemble.query_batch", static_cast<std::int64_t>(q),
+                "pairs", &ensemble_obs().batch_ns);
+  PMTE_OBS_ONLY(if (obs::metrics_on()) {
+    ensemble_obs().batch_pairs.record(q);
+  });
   out.assign(q, 0.0);
 
   // Validate every pair *before* touching the cache or the parallel
@@ -296,62 +340,73 @@ FrtEnsemble::BatchStats FrtEnsemble::query_batch(
   std::vector<Action> action(q);
   std::vector<std::uint32_t> slot(q, 0);
   std::vector<std::size_t> fills;
-  for (std::size_t i = 0; i < q; ++i) {
-    const auto [u, v] = pairs[i];
-    if (u == v) {
-      action[i] = Action::self;
-      continue;
-    }
-    switch (cache->probe(HotPairCache::pair_key(u, v, salt), &slot[i])) {
-      case HotPairCache::Outcome::hit:
-        action[i] = Action::hit;
-        ++stats.cache_hits;
-        break;
-      case HotPairCache::Outcome::fill:
-        action[i] = Action::fill;
-        fills.push_back(i);
-        ++stats.cache_misses;
-        ++stats.cache_admissions;
-        break;
-      case HotPairCache::Outcome::bypass:
-        action[i] = Action::bypass;
-        ++stats.cache_misses;
-        ++stats.cache_conflicts;
-        break;
+  {
+    PMTE_OBS_SPAN("ensemble.classify", static_cast<std::int64_t>(q),
+                  "pairs");
+    for (std::size_t i = 0; i < q; ++i) {
+      const auto [u, v] = pairs[i];
+      if (u == v) {
+        action[i] = Action::self;
+        continue;
+      }
+      switch (cache->probe(HotPairCache::pair_key(u, v, salt), &slot[i])) {
+        case HotPairCache::Outcome::hit:
+          action[i] = Action::hit;
+          ++stats.cache_hits;
+          break;
+        case HotPairCache::Outcome::fill:
+          action[i] = Action::fill;
+          fills.push_back(i);
+          ++stats.cache_misses;
+          ++stats.cache_admissions;
+          break;
+        case HotPairCache::Outcome::bypass:
+          action[i] = Action::bypass;
+          ++stats.cache_misses;
+          ++stats.cache_conflicts;
+          break;
+      }
     }
   }
 
   // (1) Compute each admitted pair once; every fill owns a distinct slot,
   // so the parallel writes never collide.
-  parallel_for_balanced(
-      fills.size(), [k](std::size_t) { return k; },
-      [&](std::size_t f) {
-        const std::size_t i = fills[f];
-        cache->set_value(slot[i],
-                         compute(pairs[i].first, pairs[i].second));
-      });
+  {
+    PMTE_OBS_SPAN("ensemble.fill", static_cast<std::int64_t>(fills.size()),
+                  "fills");
+    parallel_for_balanced(
+        fills.size(), [k](std::size_t) { return k; },
+        [&](std::size_t f) {
+          const std::size_t i = fills[f];
+          cache->set_value(slot[i],
+                           compute(pairs[i].first, pairs[i].second));
+        });
+  }
 
   // (2) Serve: hits and fills read their slot (the exact double phase 1
   // stored — bit-identical to recomputing), bypasses compute directly.
-  parallel_for_balanced(
-      q,
-      [&](std::size_t i) {
-        return action[i] == Action::bypass ? k : std::size_t{1};
-      },
-      [&](std::size_t i) {
-        switch (action[i]) {
-          case Action::self:
-            out[i] = 0.0;
-            break;
-          case Action::hit:
-          case Action::fill:
-            out[i] = cache->value(slot[i]);
-            break;
-          case Action::bypass:
-            out[i] = compute(pairs[i].first, pairs[i].second);
-            break;
-        }
-      });
+  {
+    PMTE_OBS_SPAN("ensemble.serve", static_cast<std::int64_t>(q), "pairs");
+    parallel_for_balanced(
+        q,
+        [&](std::size_t i) {
+          return action[i] == Action::bypass ? k : std::size_t{1};
+        },
+        [&](std::size_t i) {
+          switch (action[i]) {
+            case Action::self:
+              out[i] = 0.0;
+              break;
+            case Action::hit:
+            case Action::fill:
+              out[i] = cache->value(slot[i]);
+              break;
+            case Action::bypass:
+              out[i] = compute(pairs[i].first, pairs[i].second);
+              break;
+          }
+        });
+  }
 
   // Logical costs: only computed aggregates consult the trees.  u == v
   // pairs short-circuit to 0.0 without lookups (the uncached path's k
@@ -375,6 +430,8 @@ void FrtEnsemble::save(std::ostream& os, std::uint32_t version) const {
 }
 
 FrtEnsemble FrtEnsemble::load(std::istream& is) {
+  PMTE_OBS_SPAN("ensemble.load");
+  PMTE_OBS_ONLY(if (obs::metrics_on()) ensemble_obs().loads_copied.add(1));
   // One reader spans the whole artefact: the stream size is probed once,
   // and the running position drives the v3 padding arithmetic.
   BinaryReader r(is);
@@ -397,6 +454,8 @@ FrtEnsemble FrtEnsemble::load(std::istream& is) {
 }
 
 FrtEnsemble FrtEnsemble::load_mapped(MappedFile file) {
+  PMTE_OBS_SPAN("ensemble.load_mapped");
+  PMTE_OBS_ONLY(if (obs::metrics_on()) ensemble_obs().loads_mapped.add(1));
   // Pin the mapping first: the index sections below are views into it,
   // and the shared_ptr travels with the ensemble through moves and the
   // registry, keeping the address range alive until the last reference

@@ -7,6 +7,56 @@
 
 namespace pmte::serve {
 
+#if PMTE_OBS
+namespace {
+
+/// Server-wide instruments, bound once on first use (the registry returns
+/// stable references for the process lifetime).
+struct ServerObs {
+  obs::Counter& swaps;
+  obs::Gauge& ensembles;
+  obs::Gauge& tenants;
+};
+
+ServerObs& server_obs() {
+  auto& reg = obs::registry();
+  static ServerObs o{
+      reg.counter("pmte_server_epoch_swaps_total", {},
+                  "Tenant epoch hot-swaps applied at batch boundaries"),
+      reg.gauge("pmte_registry_ensembles", {},
+                "Ensembles resident in the registry"),
+      reg.gauge("pmte_server_tenants", {}, "Tenant streams registered"),
+  };
+  return o;
+}
+
+}  // namespace
+
+void Server::ensure_tenant_obs() {
+  auto& reg = obs::registry();
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    Tenant& ten = tenants_[t];
+    if (ten.obs.batches != nullptr) continue;
+    const obs::Labels labels{{"tenant", std::to_string(t)}};
+    ten.obs.batches =
+        &reg.counter("pmte_server_batches_total", labels,
+                     "Batches carrying at least one query for this tenant");
+    ten.obs.pairs = &reg.counter("pmte_server_pairs_total", labels,
+                                 "Query pairs served for this tenant");
+    ten.obs.shard_pairs =
+        &reg.histogram("pmte_server_shard_pairs", labels,
+                       "Per-batch shard size in pairs (logical value — "
+                       "deterministic bucket counts)");
+    ten.obs.shard_ns =
+        &reg.histogram("pmte_server_shard_duration_ns", labels,
+                       "Per-batch shard execution wall time in ns "
+                       "(informational, never gated)");
+  }
+  server_obs().ensembles.set(static_cast<std::int64_t>(registry_.size()));
+  server_obs().tenants.set(static_cast<std::int64_t>(tenants_.size()));
+}
+#endif  // PMTE_OBS
+
 std::uint64_t EnsembleRegistry::add(FrtEnsemble e) {
   const std::uint64_t fp = e.registry_fingerprint();
   const auto it = entries_.find(fp);
@@ -54,8 +104,11 @@ void Server::stage_swap(TenantId t, std::uint64_t fingerprint) {
 
 void Server::apply_staged_swaps() {
   std::vector<std::uint64_t> swapped_out;
-  for (auto& ten : tenants_) {
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    Tenant& ten = tenants_[t];
     if (!ten.has_staged) continue;
+    PMTE_OBS_SPAN("server.swap", static_cast<std::int64_t>(t), "tenant");
+    PMTE_OBS_ONLY(if (obs::metrics_on()) server_obs().swaps.add(1));
     auto next = registry_.find(ten.staged);
     PMTE_CHECK(next != nullptr,
                "Server::serve: staged swap targets an unregistered "
@@ -89,11 +142,23 @@ void Server::apply_staged_swaps() {
 
 void Server::serve(std::span<const TenantQuery> batch,
                    std::vector<Weight>& out) {
-  apply_staged_swaps();
-  if (router_.num_tenants() != tenants_.size()) {
-    router_.reset(static_cast<std::uint32_t>(tenants_.size()));
+  PMTE_OBS_SPAN("server.serve", static_cast<std::int64_t>(batch.size()),
+                "batch");
+  {
+    PMTE_OBS_SPAN("server.flip");
+    apply_staged_swaps();
   }
-  router_.route(batch);
+#if PMTE_OBS
+  if (obs::metrics_on()) ensure_tenant_obs();
+#endif
+  {
+    PMTE_OBS_SPAN("server.route", static_cast<std::int64_t>(batch.size()),
+                  "batch");
+    if (router_.num_tenants() != tenants_.size()) {
+      router_.reset(static_cast<std::uint32_t>(tenants_.size()));
+    }
+    router_.route(batch);
+  }
 
   // Parallel shard execution: one task per tenant, cost-balanced by the
   // shard's aggregate volume.  Each tenant's query_batch detects the
@@ -103,26 +168,37 @@ void Server::serve(std::span<const TenantQuery> batch,
   // tenant no region opens and query_batch parallelises internally —
   // bit-identical either way by its own contract.)
   const std::size_t nt = tenants_.size();
-  parallel_for_balanced(
-      nt,
-      [&](std::size_t t) {
-        return router_.shard(static_cast<TenantId>(t)).pairs.size() *
-               tenants_[t].ensemble->num_trees();
-      },
-      [&](std::size_t t) {
-        auto& shard = router_.shard(static_cast<TenantId>(t));
-        if (shard.pairs.empty()) return;
-        auto& ten = tenants_[t];
-        shard.stats = ten.ensemble->query_batch(
-            shard.pairs, ten.cfg.policy, shard.out,
-            ten.cache ? &*ten.cache : nullptr);
-      });
+  {
+    PMTE_OBS_SPAN("server.execute", static_cast<std::int64_t>(nt),
+                  "tenants");
+    parallel_for_balanced(
+        nt,
+        [&](std::size_t t) {
+          return router_.shard(static_cast<TenantId>(t)).pairs.size() *
+                 tenants_[t].ensemble->num_trees();
+        },
+        [&](std::size_t t) {
+          auto& shard = router_.shard(static_cast<TenantId>(t));
+          if (shard.pairs.empty()) return;
+          auto& ten = tenants_[t];
+          PMTE_OBS_SPAN("server.shard", static_cast<std::int64_t>(t),
+                        "tenant", ten.obs.shard_ns);
+          shard.stats = ten.ensemble->query_batch(
+              shard.pairs, ten.cfg.policy, shard.out,
+              ten.cache ? &*ten.cache : nullptr);
+        });
+  }
 
-  out.assign(batch.size(), 0.0);
-  router_.scatter(out);
+  {
+    PMTE_OBS_SPAN("server.scatter");
+    out.assign(batch.size(), 0.0);
+    router_.scatter(out);
+  }
 
   // Serial counter fold, tenant id order: cumulative logical counts plus
   // the running FNV-1a over this tenant's served doubles in stream order.
+  PMTE_OBS_SPAN("server.fold");
+  PMTE_OBS_ONLY(const bool obs_metrics = obs::metrics_on());
   for (std::size_t t = 0; t < nt; ++t) {
     const auto& shard = router_.shard(static_cast<TenantId>(t));
     if (shard.pairs.empty()) continue;
@@ -140,6 +216,11 @@ void Server::serve(std::span<const TenantQuery> batch,
       std::memcpy(&bits, &w, sizeof(bits));
       c.result_hash64 = fnv1a_fold(c.result_hash64, bits);
     }
+    PMTE_OBS_ONLY(if (obs_metrics && tenants_[t].obs.batches != nullptr) {
+      tenants_[t].obs.batches->add(1);
+      tenants_[t].obs.pairs->add(shard.stats.pairs);
+      tenants_[t].obs.shard_pairs->record(shard.stats.pairs);
+    });
   }
 }
 

@@ -51,6 +51,7 @@
 #include <span>
 #include <vector>
 
+#include "src/obs/obs.hpp"
 #include "src/serve/frt_ensemble.hpp"
 #include "src/serve/hot_pair_cache.hpp"
 #include "src/serve/tenant_router.hpp"
@@ -196,6 +197,18 @@ class Server {
   void serve(std::span<const TenantQuery> batch, std::vector<Weight>& out);
 
  private:
+#if PMTE_OBS
+  /// Lazily bound per-tenant metric handles (labels like tenant="3").
+  /// Raw pointers into the process-wide registry, which never dies;
+  /// nullptr until metrics are first enabled (see ensure_tenant_obs).
+  struct TenantObsHandles {
+    obs::Counter* batches = nullptr;
+    obs::Counter* pairs = nullptr;
+    obs::Histogram* shard_pairs = nullptr;  ///< logical — deterministic
+    obs::Histogram* shard_ns = nullptr;     ///< wall-time — informational
+  };
+#endif
+
   struct Tenant {
     TenantConfig cfg;
     std::shared_ptr<const FrtEnsemble> ensemble;
@@ -204,10 +217,21 @@ class Server {
     std::uint64_t staged = 0;
     bool has_staged = false;
     TenantCounters counters;
+#if PMTE_OBS
+    TenantObsHandles obs;
+#endif
   };
 
   /// Serial flip phase: apply staged swaps, then retire drained epochs.
   void apply_staged_swaps();
+
+#if PMTE_OBS
+  /// Bind metric handles for any tenant that lacks them and refresh the
+  /// registry/tenant gauges.  Serial phase, called only when metrics are
+  /// on — tenants added before obs was enabled get their handles at the
+  /// next batch.
+  void ensure_tenant_obs();
+#endif
 
   EnsembleRegistry registry_;
   std::vector<Tenant> tenants_;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.hpp"
 #include "src/util/assertions.hpp"
 
 namespace pmte {
 
 LevelAssignment LevelAssignment::sample(Vertex n, Rng& rng) {
+  PMTE_OBS_SPAN("simgraph.level_sample", static_cast<std::int64_t>(n),
+                "vertices");
   LevelAssignment la;
   la.level_.assign(n, 0);
   // Step-synchronous process as in the paper; stops at the first step in

@@ -1,9 +1,23 @@
 #pragma once
-// Wall-clock timing helper for benches and examples.
+// Wall-clock timing helpers.  This header and src/obs/ are the only
+// sanctioned clock readers in the library (pmte-lint `wall-clock` rule);
+// wall-time must never feed an algorithmic decision — see
+// docs/DETERMINISM.md.
 
 #include <chrono>
+#include <cstdint>
 
 namespace pmte {
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock).  The
+/// timestamp primitive the obs layer stamps spans with; only differences
+/// are meaningful.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 class Timer {
  public:

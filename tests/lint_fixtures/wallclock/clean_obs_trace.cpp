@@ -1,0 +1,14 @@
+// pmte-lint-fixture-path: src/obs/clean_obs_trace.cpp
+// The observability layer is the second audited wall-clock exemption
+// (with src/util/timer.hpp): spans and latency histograms *record* time
+// but never feed it back into an algorithmic decision — the obs layer is
+// write-only with respect to logical state (docs/DETERMINISM.md).
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t obs_span_timestamp_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
