@@ -64,6 +64,7 @@ KNOWN_UNGATED = frozenset((
     "sections_copied", "sections_mapped",
     "index_nodes", "trees",
     "levels_skipped", "levels_warm", "levels_full",
+    "levels_recomputed", "trees_rebuilt", "incremental",
     "epoch", "ensembles_resident", "epochs_retired",
 ))
 

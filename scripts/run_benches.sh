@@ -80,7 +80,7 @@ for bin in "$BENCH_DIR"/bench_*; do
       # Benches with a deterministic counter mode (the CI gate baselines,
       # see bench_common.hpp): embed the --counters report, then run the
       # regular markdown-table sweep.
-      bench_le_lists|bench_frt_pipelines|bench_serve|bench_server|bench_kmedian|bench_buyatbulk|bench_sketches)
+      bench_dynamic|bench_le_lists|bench_frt_pipelines|bench_serve|bench_server|bench_kmedian|bench_buyatbulk|bench_sketches)
         "$bin" --counters >"$ctr_json" 2>"$tmp_out" || status=$?
         ;;
       *)

@@ -9,7 +9,8 @@
 //                   [--cache] [--cache-capacity=65536]
 //                   [--save=FILE] [--load=FILE] [--threads=N] [--roundtrip]
 //                   [--mmap] [--stretch]
-//                   [--tenants=N [--batches=8] [--swap-at=BATCH]]
+//                   [--tenants=N [--batches=8] [--swap-at=BATCH]
+//                    [--update-file=FILE]]
 //                   [--metrics-out=FILE] [--trace-out=FILE]
 //
 // The embedding lifecycle end to end: sample k FRT trees (one master
@@ -43,6 +44,14 @@
 // probes, cache hits/misses, result hash) is bit-identical at any thread
 // count — the same quantities the CI gate pins in BENCH_server.json.
 //
+// --update-file FILE replays live edge-weight updates through the
+// dynamic-maintenance path (docs/DYNAMIC.md): each non-comment line is
+// "<batch> <edge-index> <factor>" — before serving batch <batch>, edge
+// <edge-index> of the graph's canonical edge list re-weights to
+// old·<factor> in a maintained DynamicEnsemble, and the fresh snapshot is
+// loaded and staged to *every* tenant, so the new metric flips in at the
+// batch boundary.  Requires --tenants and --pipeline=oracle.
+//
 // --metrics-out FILE / --trace-out FILE turn the observability layer on
 // (docs/OBSERVABILITY.md) and, when the process exits, write Prometheus
 // text exposition / Chrome trace-event JSON for the whole run.  Purely
@@ -61,6 +70,7 @@
 
 #include "src/graph/generators.hpp"
 #include "src/obs/obs.hpp"
+#include "src/serve/dynamic_ensemble.hpp"
 #include "src/serve/frt_ensemble.hpp"
 #include "src/serve/hot_pair_cache.hpp"
 #include "src/serve/server.hpp"
@@ -160,6 +170,58 @@ int run_tenant_scenario(const Graph& g, serve::FrtEnsemble base,
               << " ms, old epoch still serving\n";
   }
 
+  // --- Dynamic update replay (--update-file, docs/DYNAMIC.md). ----------
+  // Each non-comment line is "<batch> <edge-index> <factor>": before
+  // serving that batch, the edge re-weights to old·factor through the
+  // maintained DynamicEnsemble and the fresh snapshot is staged to every
+  // tenant — the new metric flips in at the batch boundary.
+  struct UpdateEvent {
+    std::size_t batch;
+    std::size_t edge;
+    double factor;
+  };
+  std::vector<UpdateEvent> updates;
+  std::optional<serve::DynamicEnsemble> dyn;
+  std::vector<WeightedEdge> edge_list;
+  const auto update_path = cli.get("update-file", "");
+  if (!update_path.empty()) {
+    std::ifstream in(update_path);
+    if (!in) {
+      std::cerr << "cannot open " << update_path << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream ls(line);
+      UpdateEvent ev;
+      if (ls >> ev.batch >> ev.edge >> ev.factor) {
+        if (ev.factor <= 0.0 || ev.edge >= g.num_edges()) {
+          std::cerr << "bad update line (want \"<batch> <edge-index> "
+                       "<factor>\" with factor > 0 and a valid edge): "
+                    << line << "\n";
+          return 1;
+        }
+        updates.push_back(ev);
+      }
+    }
+    if (cli.get("pipeline", "oracle") != std::string("oracle")) {
+      std::cerr << "--update-file needs --pipeline=oracle (the dynamic "
+                   "path maintains the oracle's level caches)\n";
+      return 1;
+    }
+    serve::EnsembleOptions dopts;
+    dopts.trees = trees;
+    dopts.pipeline = serve::EnsemblePipeline::oracle;
+    const Timer t;
+    dyn.emplace(g, seed, dopts);
+    edge_list = g.edge_list();
+    std::cout << "dynamic: maintaining " << trees << " trees for "
+              << updates.size() << " update(s), built in " << t.millis()
+              << " ms\n";
+  }
+
   // Tenant streams: alternating zipf/uniform shapes, min/median policies,
   // one hot-pair cache per stream.
   std::vector<serve::TenantStreamSpec> specs(tenants);
@@ -184,6 +246,24 @@ int run_tenant_scenario(const Graph& g, serve::FrtEnsemble base,
   std::vector<Weight> out;
   double total_seconds = 0.0;
   for (std::size_t b = 0; b < batches; ++b) {
+    for (const auto& ev : updates) {
+      if (ev.batch != b) continue;
+      const WeightedEdge& e = edge_list[ev.edge];
+      const Weight w_old = dyn->graph().edge_weight(e.u, e.v);
+      const Weight w_new = w_old * ev.factor;
+      const auto us = dyn->update(e.u, e.v, w_new);
+      const std::uint64_t fp = server.load(dyn->snapshot());
+      for (std::size_t ten = 0; ten < tenants; ++ten) {
+        server.stage_swap(static_cast<serve::TenantId>(ten), fp);
+      }
+      std::cout << "batch " << b << ": update edge #" << ev.edge << " {"
+                << e.u << "," << e.v << "} " << w_old << " -> " << w_new
+                << (us.incremental ? " (incremental, " : " (invalidate, ")
+                << us.levels_recomputed << " levels recomputed, "
+                << us.levels_skipped << " skipped, " << us.trees_rebuilt
+                << "/" << trees << " trees rebuilt) -> staged "
+                << fp_hex(fp) << " for all tenants\n";
+    }
     if (swap_at >= 0 && b == static_cast<std::size_t>(swap_at)) {
       server.stage_swap(0, fp_next);
       std::cout << "batch " << b << ": staged swap tenant 0 -> "

@@ -75,6 +75,40 @@ Weight Graph::edge_weight(Vertex u, Vertex v) const noexcept {
   return inf_weight();
 }
 
+void Graph::set_edge_weight(Vertex u, Vertex v, Weight w) {
+  PMTE_CHECK(u < num_vertices() && v < num_vertices() && u != v,
+             "set_edge_weight endpoints must be two distinct vertices");
+  PMTE_CHECK(is_finite(w) && w > 0.0,
+             "edge weights must be positive and finite");
+  const auto update_half = [this, w](Vertex from, Vertex to) {
+    auto* first = edges_.data() + offsets_[from];
+    auto* last = edges_.data() + offsets_[from + 1];
+    auto* it = std::lower_bound(
+        first, last, to,
+        [](const HalfEdge& e, Vertex target) { return e.to < target; });
+    PMTE_CHECK(it != last && it->to == to,
+               "set_edge_weight requires an existing edge");
+    it->weight = w;
+  };
+  update_half(u, v);
+  update_half(v, u);
+  // Recompute the aggregates in the same (u, v)-ascending order as
+  // from_edges so total_w_ stays bit-identical to a fresh build of the
+  // mutated edge list (the rebuild-differential harness compares both).
+  min_w_ = inf_weight();
+  max_w_ = 0.0;
+  total_w_ = 0.0;
+  for (Vertex x = 0; x < num_vertices(); ++x) {
+    for (const auto& e : neighbors(x)) {
+      if (x < e.to) {
+        min_w_ = std::min(min_w_, e.weight);
+        max_w_ = std::max(max_w_, e.weight);
+        total_w_ += e.weight;
+      }
+    }
+  }
+}
+
 std::vector<WeightedEdge> Graph::edge_list() const {
   std::vector<WeightedEdge> out;
   out.reserve(num_edges());

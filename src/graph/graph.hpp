@@ -70,6 +70,15 @@ class Graph {
   /// connected graph.
   [[nodiscard]] Weight total_weight() const noexcept { return total_w_; }
 
+  /// Mutate the weight of the existing edge {u,v} in place (both
+  /// half-edges).  The CSR layout is untouched — only the two weight
+  /// fields and the min/max/total aggregates change — so spans handed out
+  /// by neighbors() stay valid and observe the new weight immediately
+  /// (the dynamic-update path relies on this, see docs/DYNAMIC.md).
+  /// PMTE_CHECK-fails when the edge is absent or the weight is not
+  /// positive and finite.
+  void set_edge_weight(Vertex u, Vertex v, Weight w);
+
   /// Recover the undirected edge list (u < v in every entry).
   [[nodiscard]] std::vector<WeightedEdge> edge_list() const;
 

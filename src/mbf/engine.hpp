@@ -214,9 +214,15 @@ class MbfEngine {
   /// `frontier` must be unable to change or make a changing offer in the
   /// first step — either its state is ⊥ (⊥ offers aggregate to nothing),
   /// or the states are a fixpoint of this engine under the same weight
-  /// scale and only `frontier` vertices were modified since.  The oracle
-  /// (mbf_oracle.hpp) uses both shapes: support-seeded level starts and
-  /// warm restarts from cached per-level fixpoints.
+  /// scale and only `frontier` vertices were modified since.  "Modified"
+  /// covers edge weights as well as states: every round reads e.weight
+  /// live from the graph, so an in-place weight *decrease* is absorbed by
+  /// putting the edge's endpoints into the frontier with their states
+  /// unchanged — their offers changed, not their inputs (the dynamic
+  /// update path of MbfOracle::update relies on this, docs/DYNAMIC.md).
+  /// The oracle (mbf_oracle.hpp) uses all three shapes: support-seeded
+  /// level starts, warm restarts from cached per-level fixpoints, and
+  /// post-update endpoint-seeded restarts.
   void reset_with_frontier(std::vector<State> x0,
                            std::vector<Vertex> frontier) {
     PMTE_CHECK(x0.size() == g_->num_vertices(),

@@ -55,9 +55,26 @@
 // (chaotic-iteration theorem) — the final states are bit-identical, which
 // the differential tests check.  Intermediate iterates differ: with reuse,
 // step() is a sweep, not an application of Equation (5.9)'s operator.
+//
+// == Dynamic updates (update()) ==
+//
+// The change-stamp machinery doubles as the delta-propagation substrate
+// for edge-weight updates of G' (docs/DYNAMIC.md).  The engine reads
+// weights live from the graph on every relaxation, so after the caller
+// mutates the shared graph, update() only has to decide what the caches
+// are still worth: a *decrease* keeps every cached closure a dominated
+// lower bound of the new fixpoint (cached entries are old-weight path
+// sums, absorbed by the cheaper metric), so iteration continues in place
+// with the edge endpoints forced into every level's frontier; an
+// *increase* can strand entries the monotone iteration cannot revoke, so
+// the caches reset wholesale and the caller re-runs from scratch —
+// bit-identical to a freshly built oracle either way, which
+// tests/test_dynamic.cpp pins against full rebuilds.
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -106,6 +123,12 @@ concept OracleAlgebra =
                               const typename A::State& y) {
       { alg.aggregate(acc, y) };  // acc ⊕= y in the semimodule
     };
+
+/// Outcome of MbfOracle::update (see the member doc).
+enum class OracleUpdateKind : std::uint8_t {
+  kIncremental,  ///< weight decrease absorbed; continue stepping in place
+  kInvalidated,  ///< weight increase; caches reset — restart from r^V x⁽⁰⁾
+};
 
 /// Statistics of an oracle run (depth/work proxies for Theorem 5.2).
 struct OracleStats {
@@ -158,6 +181,61 @@ class MbfOracle {
                   static_cast<std::int64_t>(stats_.h_iterations),
                   "h_iteration");
     return opts_.oracle_level_reuse ? sweep(x, changed) : jacobi_step(x);
+  }
+
+  /// Absorb one already-applied edge-weight change of G'.  The caller
+  /// mutates the shared graph *first* (several oracles may observe one H,
+  /// so the oracle never mutates it); `edge` carries the OLD weight and
+  /// `new_weight` must equal the weight now stored in the graph.
+  ///
+  /// A decrease is incremental (kIncremental): every kFixpoint cache stays
+  /// a valid warm-restart seed — its entries are old-weight path sums,
+  /// each dominated by the same path under the cheaper metric, so the new
+  /// least fixpoint absorbs them (r(F* ⊕ F_old) = F*) and monotone
+  /// iteration from F_old converges to exactly F*.  The edge endpoints are
+  /// the only vertices whose *offers* changed while their states did not,
+  /// so they are forced into every level's frontier on the next sweep and
+  /// the absorbed-input skips are suppressed until each level has re-run
+  /// once.  Continue with step(x, &empty) — an empty changed list, not
+  /// nullptr: the states did not change, the weights did — until the
+  /// changed set drains (oracle_run's loop shape).
+  ///
+  /// An increase can strand too-strong cached entries that monotone
+  /// iteration cannot revoke, so the oracle resets to its freshly
+  /// constructed state (kInvalidated) and the caller re-runs from
+  /// r^V x⁽⁰⁾ — bit-identical to a brand-new oracle on the mutated graph.
+  OracleUpdateKind update(const WeightedEdge& edge, Weight new_weight) {
+    PMTE_CHECK(edge.u != edge.v && edge.u < h_->num_vertices() &&
+                   edge.v < h_->num_vertices(),
+               "MbfOracle::update: invalid edge");
+    PMTE_CHECK(h_->base().edge_weight(edge.u, edge.v) == new_weight,
+               "MbfOracle::update: apply the new weight to the graph first");
+    if (new_weight > edge.weight) {
+      invalidate_all();
+      return OracleUpdateKind::kInvalidated;
+    }
+    // Accumulate endpoints across updates (sorted, duplicate-free — the
+    // engine's frontier contract).
+    for (const Vertex v : {edge.u, edge.v}) {
+      const auto it =
+          std::lower_bound(pending_touch_.begin(), pending_touch_.end(), v);
+      if (it == pending_touch_.end() || *it != v) pending_touch_.insert(it, v);
+    }
+    return OracleUpdateKind::kIncremental;
+  }
+
+  /// Reset every cache and stamp to the freshly-constructed state (only
+  /// stats_ stays cumulative — snapshot it around the call to difference).
+  /// The next step(x⁽⁰⁾, nullptr) sequence is bit-identical to a brand-new
+  /// oracle on the graph's current weights.
+  void invalidate_all() {
+    for (auto& c : cache_) c.clear();
+    std::fill(cache_state_.begin(), cache_state_.end(), CacheState::kEmpty);
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    std::fill(last_scan_.begin(), last_scan_.end(), 0);
+    event_ = 1;
+    sweep_count_ = 0;
+    pending_touch_.clear();
   }
 
   [[nodiscard]] const OracleStats& stats() const noexcept { return stats_; }
@@ -289,6 +367,13 @@ class MbfOracle {
     ++event_;
 
     const unsigned top = h_->max_level();
+    // A pending edge touch (update(): a decrease already applied to the
+    // graph) suppresses the skip fast paths for one full sweep: the
+    // caches are still dominated seeds, but the endpoints' offers changed
+    // without any state changing, which the stamps cannot see.  Every
+    // level re-runs once with the endpoints in its frontier; after the
+    // sweep the stamps carry all remaining propagation.
+    const bool touched = !pending_touch_.empty();
     const bool ascending = (sweep_count_++ % 2 == 0);
     for (unsigned idx = 0; idx <= top; ++idx) {
       const unsigned lambda = ascending ? idx : top - idx;
@@ -307,7 +392,7 @@ class MbfOracle {
         for (const Vertex v : level_vertices_[lambda]) {
           if (stamp_[v] >= since) changed_level_.push_back(v);
         }
-        if (changed_level_.empty()) {
+        if (changed_level_.empty() && !touched) {
           // Unchanged input — and y already absorbed this cache when it
           // was last merged, so even the output merge is a no-op.
           ++stats_.levels_skipped;
@@ -339,6 +424,16 @@ class MbfOracle {
             }
           });
           buffers_.drain_sorted(delta_);
+          if (touched) {
+            // The endpoints re-offer over the re-weighted edge even when
+            // their own states are absorbed (their seeds are the cached
+            // values — it is the incident weight that changed).
+            scratch_union_.clear();
+            std::set_union(delta_.begin(), delta_.end(),
+                           pending_touch_.begin(), pending_touch_.end(),
+                           std::back_inserter(scratch_union_));
+            delta_.swap(scratch_union_);
+          }
           if (delta_.empty()) {
             // y ⊆ cache modulo domination: the run would reproduce the
             // cache (r(cache ⊕ A^d δ) = cache for absorbed δ) — skip.
@@ -362,6 +457,8 @@ class MbfOracle {
       // the new scan mark, so it will not re-consume them next sweep.
       last_scan_[lambda] = event_;
     }
+    // Every level consumed the touch exactly once this sweep.
+    if (touched) pending_touch_.clear();
     return y;
   }
 
@@ -406,6 +503,8 @@ class MbfOracle {
   std::vector<Vertex> delta_;          // unabsorbed subset of C_λ scratch
   std::vector<Vertex> support_;        // supp(P_λ x) scratch
   std::vector<Vertex> merged_;         // per-merge changed list scratch
+  std::vector<Vertex> pending_touch_;  // update() endpoints, sorted unique
+  std::vector<Vertex> scratch_union_;  // delta_ ∪ pending_touch_ scratch
   PerThreadBuffers<Vertex> buffers_;
   OracleStats stats_;
 };

@@ -249,6 +249,22 @@ FrtEnsemble FrtEnsemble::build(const Graph& g, std::uint64_t master_seed,
   return e;
 }
 
+FrtEnsemble FrtEnsemble::assemble(std::vector<FrtIndex> indices,
+                                  std::uint64_t master_seed,
+                                  std::uint64_t graph_fingerprint) {
+  PMTE_CHECK(!indices.empty(), "FrtEnsemble::assemble: needs >= 1 index");
+  for (const auto& idx : indices) {
+    PMTE_CHECK(idx.num_leaves() == indices.front().num_leaves(),
+               "FrtEnsemble::assemble: indices disagree on the vertex set");
+  }
+  FrtEnsemble e;
+  e.indices_ = std::move(indices);
+  e.master_seed_ = master_seed;
+  e.graph_fingerprint_ = graph_fingerprint;
+  e.finalize_query_layout();
+  return e;
+}
+
 Weight FrtEnsemble::query(Vertex u, Vertex v, AggregatePolicy policy) const {
   PMTE_CHECK(!indices_.empty(), "FrtEnsemble::query: empty ensemble");
   PMTE_CHECK(u < num_vertices() && v < num_vertices(),

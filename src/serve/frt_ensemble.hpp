@@ -96,6 +96,17 @@ class FrtEnsemble {
                                          std::uint64_t master_seed,
                                          const EnsembleOptions& opts = {});
 
+  /// Assemble a servable ensemble from already-built indices — the
+  /// dynamic-maintenance snapshot path (serve::DynamicEnsemble rebuilds
+  /// only the indices whose trees an update changed and re-wraps them
+  /// all).  `graph_fingerprint` must be fingerprint() of the graph the
+  /// indices currently embed; with indices equal to build()'s the result
+  /// compares == to build()'s and carries the same registry fingerprint.
+  /// Build stats are not populated (nothing was built here).
+  [[nodiscard]] static FrtEnsemble assemble(std::vector<FrtIndex> indices,
+                                            std::uint64_t master_seed,
+                                            std::uint64_t graph_fingerprint);
+
   [[nodiscard]] std::size_t num_trees() const noexcept {
     return indices_.size();
   }

@@ -41,6 +41,15 @@ class SimulatedGraph {
   /// The level scaling factor (1+ε̂)^{Λ−λ} applied to A_λ (Lemma 5.1).
   [[nodiscard]] double level_scale(unsigned lambda) const noexcept;
 
+  /// Mutate one G' edge weight in place — the dynamic-update hook (see
+  /// docs/DYNAMIC.md).  H's other state (levels, scales, hop bound) is
+  /// weight-independent, so only the CSR weight changes; oracles holding
+  /// a pointer to this H observe the new weight on their next relaxation
+  /// because the engine reads weights live from the graph.
+  void set_base_edge_weight(Vertex u, Vertex v, Weight w) {
+    g_prime_.set_edge_weight(u, v, w);
+  }
+
   /// ω_Λ({v,w}) computed from explicit d-hop distances — O(d·m) per call;
   /// for tests.
   [[nodiscard]] Weight edge_weight_exact(Vertex v, Vertex w) const;

@@ -1,8 +1,17 @@
-// Tests for the synthetic graph families (src/graph/generators.*).
+// Tests for the synthetic graph families (src/graph/generators.*), plus
+// the workload-stream property that the serving tests lean on: per-tenant
+// substreams are pinned to their own split_seed stream and stay stable
+// while a DynamicEnsemble replays weight updates on the same graph.
 #include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
 
 #include "src/graph/generators.hpp"
 #include "src/graph/shortest_paths.hpp"
+#include "src/serve/dynamic_ensemble.hpp"
+#include "src/serve/workloads.hpp"
+#include "src/util/rng.hpp"
 
 namespace pmte {
 namespace {
@@ -118,6 +127,76 @@ TEST(Generators, Dumbbell) {
   EXPECT_TRUE(is_connected(g));
   const auto info = shortest_path_diameter(g);
   EXPECT_GE(info.spd, 7U);
+}
+
+TEST(Generators, TenantSubstreamsStableUnderUpdateReplay) {
+  // make_multi_tenant_workload promises tenant t's subsequence is exactly
+  // make_workload on Rng(split_seed(seed, kTenantWorkloadStreamBase + t)),
+  // independent of the other tenants.  The serving tests additionally
+  // lean on the stream being a pure function of the graph *structure*:
+  // replaying edge-weight updates through a DynamicEnsemble between
+  // generation calls must not perturb a single query — weights feed the
+  // metric, never the workload draws.
+  Rng graph_rng(2024);
+  const auto g = make_gnm(128, 512, {1.0, 9.0}, graph_rng);
+  std::vector<serve::TenantStreamSpec> specs(3);
+  specs[0].kind = serve::WorkloadKind::zipf;
+  specs[0].opts.pairs = 220;
+  specs[0].opts.zipf_s = 1.3;
+  specs[1].kind = serve::WorkloadKind::uniform;
+  specs[1].opts.pairs = 150;
+  specs[2].kind = serve::WorkloadKind::bfs_local;
+  specs[2].opts.pairs = 260;
+  specs[2].opts.bfs_hops = 2;
+  const std::uint64_t seed = 77;
+
+  const auto same_stream = [](const std::vector<serve::TenantQuery>& a,
+                              const std::vector<serve::TenantQuery>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].tenant != b[i].tenant || a[i].u != b[i].u ||
+          a[i].v != b[i].v) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto check_substreams =
+      [&](const Graph& graph, const std::vector<serve::TenantQuery>& stream) {
+        for (std::size_t t = 0; t < specs.size(); ++t) {
+          std::vector<std::pair<Vertex, Vertex>> sub;
+          for (const auto& q : stream) {
+            if (q.tenant == static_cast<serve::TenantId>(t)) {
+              sub.emplace_back(q.u, q.v);
+            }
+          }
+          Rng rng(split_seed(seed, serve::kTenantWorkloadStreamBase + t));
+          const auto standalone =
+              serve::make_workload(graph, specs[t].kind, specs[t].opts, rng);
+          EXPECT_EQ(sub, standalone) << "tenant " << t;
+        }
+      };
+
+  const auto stream = serve::make_multi_tenant_workload(g, specs, seed);
+  ASSERT_EQ(stream.size(), 220u + 150u + 260u);
+  check_substreams(g, stream);
+
+  // Interleave update replay with regeneration: one warm decrease, one
+  // invalidating increase, one more decrease.
+  serve::EnsembleOptions opts;
+  opts.trees = 2;
+  opts.pipeline = serve::EnsemblePipeline::oracle;
+  serve::DynamicEnsemble dyn(g, seed, opts);
+  const auto edges = g.edge_list();
+  const double factors[] = {0.5, 1.6, 0.8};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& e = edges[(7 * i + 3) % edges.size()];
+    dyn.update(e.u, e.v, dyn.graph().edge_weight(e.u, e.v) * factors[i]);
+    const auto replayed =
+        serve::make_multi_tenant_workload(dyn.graph(), specs, seed);
+    EXPECT_TRUE(same_stream(stream, replayed)) << "after update " << i;
+    check_substreams(dyn.graph(), replayed);
+  }
 }
 
 TEST(Generators, WeightModelUnit) {

@@ -1,7 +1,9 @@
 // Format v3 + zero-copy load path: section alignment invariants, v2
 // compatibility, loader hostility (truncation, bad magic, endianness,
 // unknown versions, corrupt lengths, shaved padding, misaligned bases) on
-// BOTH the stream and the mmap path, and a corpus-wide differential that
+// BOTH the stream and the mmap path, a seeded bit-flip/truncation fuzz
+// sweep pinning "reject or load, never crash", and a corpus-wide
+// differential that
 // pins mapped and copied loads to bit-identical served doubles and
 // logical counters at several thread counts.  The registry/swap lifetime
 // test leans on ASan: any read of a retired mapping is a use-after-free.
@@ -11,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -220,6 +223,70 @@ TEST(Serialize, HostileImagesAreRejectedOnBothPaths) {
   ASSERT_EQ(good[76], '\0') << "layout drifted; fix the padding offset";
   bad = good.substr(0, 76) + good.substr(84);
   expect_rejected_both(bad, "shaved section padding");
+}
+
+TEST(Serialize, RandomizedHostileImageSweep) {
+  // Seeded fuzz over a valid v3 artefact: single-bit flips at random
+  // offsets plus random truncations.  The contract on both readers is
+  // "reject (std::logic_error) or load" — never crash, never any other
+  // exception type.  A flip that lands in bulk payload (doubles carry no
+  // checksum) may load on both paths; then the two loads must agree, so a
+  // mutant can never split the stream and mmap views of one image.
+  const auto g = test::support_graph("geometric", 48, 61);
+  const auto e = serve::FrtEnsemble::build(g, 61, tiny_options(2));
+  const std::string good = save_bytes(e);
+  ASSERT_TRUE(load_stream(good) == e) << "baseline artefact must load";
+
+  const auto try_stream =
+      [](const std::string& bytes) -> std::optional<serve::FrtEnsemble> {
+    try {
+      return load_stream(bytes);
+    } catch (const std::logic_error&) {
+      return std::nullopt;
+    }
+  };
+  const auto try_mapped =
+      [](const std::string& path) -> std::optional<serve::FrtEnsemble> {
+    try {
+      return serve::FrtEnsemble::load_mapped(path);
+    } catch (const std::logic_error&) {
+      return std::nullopt;
+    }
+  };
+
+  Rng rng(split_seed(0xF1207, 0));
+  std::size_t rejected = 0;
+  std::size_t loaded = 0;
+  for (std::size_t iter = 0; iter < 200; ++iter) {
+    std::string bad = good;
+    std::string what;
+    if (rng.flip(0.25)) {
+      // Truncation anywhere, including empty and one-short.
+      const auto keep = static_cast<std::size_t>(rng.below(good.size()));
+      bad = good.substr(0, keep);
+      what = "truncated to " + std::to_string(keep);
+    } else {
+      const auto at = static_cast<std::size_t>(rng.below(good.size()));
+      const auto bit = static_cast<unsigned>(rng.below(8));
+      bad[at] = static_cast<char>(static_cast<unsigned char>(bad[at]) ^
+                                  (1u << bit));
+      what = "bit " + std::to_string(bit) + " flipped at byte " +
+             std::to_string(at);
+    }
+    const auto from_stream = try_stream(bad);
+    const TempFile f("test_serialize_fuzz.tmp", bad);
+    const auto from_mapped = try_mapped(f.path());
+    if (from_stream.has_value() && from_mapped.has_value()) {
+      EXPECT_TRUE(*from_stream == *from_mapped) << what;
+      ++loaded;
+    } else {
+      ++rejected;
+    }
+  }
+  // The sweep must exercise both outcomes, or it degenerates into either
+  // a pure-rejection or a pure-roundtrip test.
+  EXPECT_GT(rejected, std::size_t{0});
+  EXPECT_GT(loaded, std::size_t{0});
 }
 
 TEST(Serialize, MappedReaderRequiresAlignedBase) {

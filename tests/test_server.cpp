@@ -19,6 +19,7 @@
 
 #include "src/graph/generators.hpp"
 #include "src/parallel/parallel.hpp"
+#include "src/serve/dynamic_ensemble.hpp"
 #include "src/serve/frt_ensemble.hpp"
 #include "src/serve/server.hpp"
 #include "src/serve/workloads.hpp"
@@ -340,6 +341,92 @@ TEST(Server, SwapEqualsSerialReplaySplitAtSwapPoint) {
             s_before.cache_admissions + s_after.cache_admissions);
   EXPECT_EQ(c.cache_conflicts,
             s_before.cache_conflicts + s_after.cache_conflicts);
+  EXPECT_GT(s_before.cache_admissions, 0u);
+  EXPECT_GT(s_after.cache_admissions, 0u);
+  EXPECT_EQ(c.cache_misses, c.cache_admissions + c.cache_conflicts);
+  EXPECT_EQ(c.epoch, 1u);
+}
+
+TEST(Server, UpdateTriggeredSwapPreservesCounterLedger) {
+  // Regression for the HotPairCache::clear() + epoch-swap interaction when
+  // the new epoch comes from DynamicEnsemble::update → snapshot() rather
+  // than a static rebuild: the flip clears the tenant's cache (and the
+  // cache's own stats), but TenantCounters is a fold of per-batch
+  // BatchStats, so the pre-swap admissions/conflicts share must survive
+  // the update-triggered republish.  Pinned against a serial replay split
+  // at the swap boundary, old snapshot before, updated snapshot after.
+  Rng graph_rng(515151);
+  const auto g = make_gnm(160, 640, {1.0, 9.0}, graph_rng);
+  ThreadGuard guard;
+  set_num_threads(1);
+
+  serve::EnsembleOptions opts;
+  opts.trees = 3;
+  opts.pipeline = serve::EnsemblePipeline::oracle;
+  serve::DynamicEnsemble dyn(g, 515, opts);
+  const auto snap_old = dyn.snapshot();
+
+  constexpr std::size_t kTenants = 2, kBatches = 6, kSwapAt = 3;
+  const auto stream =
+      serve::make_multi_tenant_workload(g, test_specs(kTenants, 1200), 515);
+  const std::size_t split = stream.size() * kSwapAt / kBatches;
+
+  serve::Server server;
+  const auto fp_old = server.load(snap_old);
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    serve::TenantConfig cfg;
+    cfg.ensemble = fp_old;
+    cfg.policy = serve::AggregatePolicy::min;
+    cfg.cache_capacity = 512;
+    server.add_tenant(cfg);
+  }
+  std::vector<Weight> scenario_out, out;
+  std::uint64_t fp_new = fp_old;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    if (b == kSwapAt) {
+      // The mid-sequence weight change that forces the republish.
+      const auto& e = g.edge_list()[11];
+      const auto stats =
+          dyn.update(e.u, e.v, g.edge_weight(e.u, e.v) * 0.5);
+      EXPECT_TRUE(stats.incremental);
+      fp_new = server.load(dyn.snapshot());
+      ASSERT_NE(fp_new, fp_old) << "update must change the fingerprint";
+      server.stage_swap(0, fp_new);
+    }
+    const std::size_t lo = stream.size() * b / kBatches;
+    const std::size_t hi = stream.size() * (b + 1) / kBatches;
+    server.serve(std::span(stream).subspan(lo, hi - lo), out);
+    scenario_out.insert(scenario_out.end(), out.begin(), out.end());
+  }
+  const auto c = server.counters(0);
+
+  // Tenant 0's served values in stream order.
+  const auto served = extract(stream, scenario_out, 0);
+  const auto snap_new = dyn.snapshot();
+  std::vector<std::pair<Vertex, Vertex>> before, after;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (stream[i].tenant != 0) continue;
+    (i < split ? before : after).emplace_back(stream[i].u, stream[i].v);
+  }
+  std::vector<Weight> replay, part;
+  serve::HotPairCache cache_old(512);
+  const auto s_before = snap_old.query_batch(
+      before, serve::AggregatePolicy::min, part, &cache_old);
+  replay.insert(replay.end(), part.begin(), part.end());
+  serve::HotPairCache cache_new(512);
+  const auto s_after = snap_new.query_batch(
+      after, serve::AggregatePolicy::min, part, &cache_new);
+  replay.insert(replay.end(), part.begin(), part.end());
+
+  EXPECT_TRUE(bits_equal(served, replay));
+  EXPECT_EQ(c.pairs, s_before.pairs + s_after.pairs);
+  EXPECT_EQ(c.cache_hits, s_before.cache_hits + s_after.cache_hits);
+  EXPECT_EQ(c.cache_misses, s_before.cache_misses + s_after.cache_misses);
+  EXPECT_EQ(c.cache_admissions,
+            s_before.cache_admissions + s_after.cache_admissions);
+  EXPECT_EQ(c.cache_conflicts,
+            s_before.cache_conflicts + s_after.cache_conflicts);
+  // Both epochs must have admitted entries, or additivity proves nothing.
   EXPECT_GT(s_before.cache_admissions, 0u);
   EXPECT_GT(s_after.cache_admissions, 0u);
   EXPECT_EQ(c.cache_misses, c.cache_admissions + c.cache_conflicts);
